@@ -1,0 +1,179 @@
+package repro
+
+// One benchmark per table and figure of the paper. Each iteration
+// regenerates the artifact on a freshly booted platform; the interesting
+// output is the simulated-time metrics reported alongside the wall-clock
+// numbers (speedup factors and per-transfer simulated times).
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// reportSpeedups attaches per-row speedup metrics to the benchmark.
+func reportSpeedups(b *testing.B, t *bench.Table, unit string) {
+	for i, v := range t.Raw() {
+		if i == 0 {
+			b.ReportMetric(v, unit)
+		}
+	}
+	if n := len(t.Raw()); n > 1 {
+		b.ReportMetric(t.Raw()[n-1], unit+"-last")
+	}
+}
+
+func BenchmarkTable01Resources32(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.ResourceTable(bench.Sys32())
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable02Transfer32(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.TransferCPUTable(bench.Sys32(), nil)
+		reportSpeedups(b, t, "fs/xfer")
+	}
+}
+
+func BenchmarkTable03Pattern32(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.PatternTable(bench.Sys32())
+		reportSpeedups(b, t, "speedup")
+		if t.Raw()[0] < 26 {
+			b.Errorf("pattern speedup %.1f below the paper's >26", t.Raw()[0])
+		}
+	}
+}
+
+func BenchmarkTable04Jenkins32(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.JenkinsTable(bench.Sys32())
+		reportSpeedups(b, t, "speedup")
+	}
+}
+
+func BenchmarkTable05Image32(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.ImageTable32(bench.Sys32())
+		reportSpeedups(b, t, "speedup")
+	}
+}
+
+func BenchmarkTable06Resources64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.ResourceTable(bench.Sys64())
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable07Transfer64CPU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := bench.TransferCPUTable(bench.Sys32(), nil)
+		t := bench.TransferCPUTable(bench.Sys64(), base)
+		// The paper's anchor: transfers improve 4-6x system to system.
+		for row := range t.Raw() {
+			ratio := base.Raw()[row] / t.Raw()[row]
+			b.ReportMetric(ratio, "ratio32to64")
+			if ratio < 3.5 || ratio > 7 {
+				b.Errorf("transfer ratio %.1f outside the paper's 4-6 band", ratio)
+			}
+		}
+	}
+}
+
+func BenchmarkTable08Transfer64DMA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.TransferDMATable(bench.Sys64())
+		reportSpeedups(b, t, "fs/xfer")
+	}
+}
+
+func BenchmarkTable09Pattern64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.PatternTable(bench.Sys64())
+		reportSpeedups(b, t, "speedup")
+	}
+}
+
+func BenchmarkTable10Jenkins64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.JenkinsTable(bench.Sys64())
+		reportSpeedups(b, t, "speedup")
+	}
+}
+
+func BenchmarkTable11SHA1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.SHA1Table(bench.Sys64())
+		reportSpeedups(b, t, "speedup")
+		raw := t.Raw()
+		if raw[0] <= raw[len(raw)-1] {
+			b.Errorf("SHA-1 speedup should fall with size as the software overhead fades: %.1f .. %.1f",
+				raw[0], raw[len(raw)-1])
+		}
+	}
+}
+
+func BenchmarkTable12Image64DMA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.ImageTable64(bench.Sys64())
+		raw := t.Raw()
+		b.ReportMetric(raw[0], "brightness-speedup")
+		b.ReportMetric(raw[1], "blend-speedup")
+		b.ReportMetric(raw[2], "fade-speedup")
+		if raw[0] < raw[1] || raw[0] < raw[2] {
+			b.Error("brightness must gain the most from DMA (single source image)")
+		}
+	}
+}
+
+func BenchmarkAblationA1ConfigTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.ConfigTimeTable(bench.Sys32())
+		raw := t.Raw()
+		b.ReportMetric(raw[0]/raw[1], "complete-vs-differential")
+		if raw[1] >= raw[0] {
+			b.Error("differential configuration should load faster than complete")
+		}
+	}
+}
+
+func BenchmarkAblationA2Hazard(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.HazardTable(bench.Sys32())
+		if len(t.Rows) != 5 {
+			b.Fatalf("hazard table rows = %d", len(t.Rows))
+		}
+	}
+}
+
+func BenchmarkFigure1Architecture(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Figure1(io.Discard)
+	}
+}
+
+func BenchmarkFigure2BusMacros(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Figure2(io.Discard)
+	}
+}
+
+func BenchmarkFigure3Floorplan32(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Floorplan(io.Discard, bench.Sys32())
+	}
+}
+
+func BenchmarkFigure4Floorplan64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Floorplan(io.Discard, bench.Sys64())
+	}
+}

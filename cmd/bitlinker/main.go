@@ -1,0 +1,117 @@
+// Command bitlinker is the configuration assembly tool as a standalone
+// utility: it "implements" a module for a target system's dynamic region,
+// assembles its complete partial bitstream against the static baseline, and
+// writes it as an XBF1 container. It can also inspect an existing container
+// and compare complete vs differential stream sizes.
+//
+// Usage:
+//
+//	bitlinker -module jenkins -system 32 -o jenkins.xbf
+//	bitlinker -inspect jenkins.xbf
+//	bitlinker -module blend -system 32 -diff brightness
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bitlinker"
+	"repro/internal/bitstream"
+	"repro/internal/busmacro"
+	"repro/internal/fabric"
+	"repro/internal/hwcore"
+)
+
+func main() {
+	module := flag.String("module", "", "module to assemble (see -list)")
+	system := flag.Int("system", 32, "target system: 32 or 64")
+	out := flag.String("o", "", "output XBF1 container path")
+	inspect := flag.String("inspect", "", "inspect an XBF1 container")
+	diff := flag.String("diff", "", "also assemble a differential stream assuming this module is loaded")
+	list := flag.Bool("list", false, "list available modules")
+	flag.Parse()
+
+	if *list {
+		for _, s := range hwcore.Specs() {
+			fmt.Printf("%-14s v%-4s %v\n", s.Name, s.Version, s.Res)
+		}
+		return
+	}
+	if *inspect != "" {
+		data, err := os.ReadFile(*inspect)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var s bitstream.Stream
+		if err := s.UnmarshalBinary(data); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: device %s, %d words (%d bytes)\n", *inspect, s.Device, len(s.Words), s.SizeBytes())
+		return
+	}
+	if *module == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var dev *fabric.Device
+	var region fabric.Region
+	var macro *busmacro.Macro
+	if *system == 64 {
+		dev, region, macro = fabric.XC2VP30(), fabric.DynamicRegion64(), busmacro.Dock64()
+	} else {
+		dev, region, macro = fabric.XC2VP7(), fabric.DynamicRegion32(), busmacro.Dock32()
+	}
+	spec, err := hwcore.SpecByName(*module)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comp, err := hwcore.BuildComponent(spec, dev, region, macro)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline := fabric.NewConfigMemory(dev)
+	asm, err := bitlinker.New(dev, region, baseline, macro)
+	if err != nil {
+		log.Fatal(err)
+	}
+	placed := bitlinker.Placed{C: comp, ColOff: region.W - comp.W}
+	res, err := asm.Assemble(placed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s for %s/%s: footprint %dx%d CLBs, %d frames, %d bytes, region hash %#016x\n",
+		*module, dev.Name, region.Name, comp.W, comp.H, res.Frames,
+		res.Stream.SizeBytes(), res.RegionHash)
+
+	if *diff != "" {
+		prevSpec, err := hwcore.SpecByName(*diff)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prevComp, err := hwcore.BuildComponent(prevSpec, dev, region, macro)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prev := asm.Target(bitlinker.Placed{C: prevComp, ColOff: region.W - prevComp.W})
+		dres, err := asm.AssembleDifferential(prev, placed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("differential (assuming %s loaded): %d frames, %d bytes (%.1f%% of complete)\n",
+			*diff, dres.Frames, dres.Stream.SizeBytes(),
+			100*float64(dres.Stream.SizeBytes())/float64(res.Stream.SizeBytes()))
+	}
+	if *out != "" {
+		blob, err := res.Stream.MarshalBinary()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

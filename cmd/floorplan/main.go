@@ -1,0 +1,45 @@
+// Command floorplan renders the paper's figures: the generic architecture
+// (figure 1), the LUT-based bus macros (figure 2), and the floorplans of
+// the two systems (figures 3 and 4), derived from the actual simulated
+// device geometry.
+//
+// Usage:
+//
+//	floorplan            # all four figures
+//	floorplan -fig 3     # one figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "render a single figure (1-4)")
+	flag.Parse()
+	render := func(n int) {
+		switch n {
+		case 1:
+			bench.Figure1(os.Stdout)
+		case 2:
+			bench.Figure2(os.Stdout)
+		case 3:
+			bench.Floorplan(os.Stdout, bench.Sys32())
+		case 4:
+			bench.Floorplan(os.Stdout, bench.Sys64())
+		default:
+			fmt.Fprintf(os.Stderr, "floorplan: no figure %d\n", n)
+			os.Exit(1)
+		}
+	}
+	if *fig != 0 {
+		render(*fig)
+		return
+	}
+	for n := 1; n <= 4; n++ {
+		render(n)
+	}
+}

@@ -1,0 +1,89 @@
+// Command fpgasim runs the reproduction experiments: it boots the simulated
+// 32-bit and 64-bit platforms and regenerates the paper's tables (1-12, plus
+// the two ablations) and figures (1-4).
+//
+// Usage:
+//
+//	fpgasim              # everything
+//	fpgasim -table 3     # just Table 3
+//	fpgasim -figures     # just the figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate a single table (1-12; 13=ablation A1, 14=ablation A2)")
+	figures := flag.Bool("figures", false, "render only the figures")
+	flag.Parse()
+
+	out := os.Stdout
+	if *figures {
+		renderFigures()
+		return
+	}
+	if *table != 0 {
+		if t := oneTable(*table); t != nil {
+			t.Format(out)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "fpgasim: no such table %d\n", *table)
+		os.Exit(1)
+	}
+
+	fmt.Fprintln(out, "== Reproduction: Silva & Ferreira, \"Exploiting dynamic reconfiguration of platform FPGAs\" (IPPS 2006) ==")
+	fmt.Fprintln(out)
+	renderFigures()
+	for i := 1; i <= 14; i++ {
+		if t := oneTable(i); t != nil {
+			t.Format(out)
+		}
+	}
+}
+
+func oneTable(n int) *bench.Table {
+	switch n {
+	case 1:
+		return bench.ResourceTable(bench.Sys32())
+	case 2:
+		return bench.TransferCPUTable(bench.Sys32(), nil)
+	case 3:
+		return bench.PatternTable(bench.Sys32())
+	case 4:
+		return bench.JenkinsTable(bench.Sys32())
+	case 5:
+		return bench.ImageTable32(bench.Sys32())
+	case 6:
+		return bench.ResourceTable(bench.Sys64())
+	case 7:
+		t2 := bench.TransferCPUTable(bench.Sys32(), nil)
+		return bench.TransferCPUTable(bench.Sys64(), t2)
+	case 8:
+		return bench.TransferDMATable(bench.Sys64())
+	case 9:
+		return bench.PatternTable(bench.Sys64())
+	case 10:
+		return bench.JenkinsTable(bench.Sys64())
+	case 11:
+		return bench.SHA1Table(bench.Sys64())
+	case 12:
+		return bench.ImageTable64(bench.Sys64())
+	case 13:
+		return bench.ConfigTimeTable(bench.Sys32())
+	case 14:
+		return bench.HazardTable(bench.Sys32())
+	}
+	return nil
+}
+
+func renderFigures() {
+	bench.Figure1(os.Stdout)
+	bench.Figure2(os.Stdout)
+	bench.Floorplan(os.Stdout, bench.Sys32())
+	bench.Floorplan(os.Stdout, bench.Sys64())
+}

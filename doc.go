@@ -1,0 +1,10 @@
+// Package repro is a full-system reproduction of Silva & Ferreira,
+// "Exploiting dynamic reconfiguration of platform FPGAs: implementation
+// issues" (IPPS 2006), built on a simulated Virtex-II Pro platform: fabric
+// and configuration-memory model, frame-based partial bitstreams, a
+// BitLinker-style assembly tool, CoreConnect buses, a timed PowerPC-405
+// CPU model, HWICAP, the OPB/PLB Dock wrappers with scatter-gather DMA,
+// and the paper's six dynamic-area task circuits with their software
+// baselines. See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package repro

@@ -1,0 +1,90 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation from the simulated platforms: one generator per artifact,
+// shared by the fpgasim command and the Go benchmark harness.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one regenerated paper artifact.
+type Table struct {
+	ID      string // e.g. "T2" for Table 2, "F3" for Figure 3
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+
+	// rawNS carries the machine-readable values behind the formatted rows
+	// (per-transfer times or speedups), for dependent tables and tests.
+	rawNS []float64
+}
+
+// Raw returns the machine-readable values behind the rows (one per row for
+// the measurement tables): per-transfer times in femtoseconds or speedup
+// factors, depending on the table.
+func (t *Table) Raw() []float64 { return t.rawNS }
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Format renders the table as aligned text.
+func (t *Table) Format(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	total := 2
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintf(w, "  %s\n", strings.Repeat("-", total-4))
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// fmtNS renders a femtosecond duration with an adequate unit.
+func fmtNS(fs float64) string {
+	switch {
+	case fs >= 1e12:
+		return fmt.Sprintf("%.3f ms", fs/1e12)
+	case fs >= 1e9:
+		return fmt.Sprintf("%.3f us", fs/1e9)
+	default:
+		return fmt.Sprintf("%.1f ns", fs/1e6)
+	}
+}

@@ -1,0 +1,477 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/platform"
+	"repro/internal/ref"
+	"repro/internal/tasks"
+)
+
+// Sys32 and Sys64 build fresh systems, failing loudly on wiring errors —
+// table generators assume a correct platform.
+func Sys32() *platform.System {
+	s, err := platform.NewSys32()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Sys64 builds the 64-bit system.
+func Sys64() *platform.System {
+	s, err := platform.NewSys64()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func mustLoad(s *platform.System, mod string) {
+	if _, err := s.LoadModule(mod); err != nil {
+		panic(err)
+	}
+}
+
+// ResourceTable regenerates Table 1 (32-bit) or Table 6 (64-bit): the
+// resource usage of the static system plus the dynamic area reservation.
+func ResourceTable(s *platform.System) *Table {
+	id, title := "T1", "Resource usage (32-bit system)"
+	if s.Is64 {
+		id, title = "T6", "Resource usage (64-bit system)"
+	}
+	t := &Table{ID: id, Title: title,
+		Columns: []string{"module", "bus", "slices", "LUTs", "FFs", "BRAMs"}}
+	for _, m := range s.Inventory() {
+		t.AddRow(m.Name, m.Bus,
+			fmt.Sprint(m.Res.Slices), fmt.Sprint(m.Res.LUTs),
+			fmt.Sprint(m.Res.FFs), fmt.Sprint(m.Res.BRAMs))
+	}
+	st := s.StaticTotal()
+	t.AddRow("static total", "",
+		fmt.Sprintf("%d (%.1f%%)", st.Slices, st.SlicePercent(s.Dev)),
+		fmt.Sprint(st.LUTs), fmt.Sprint(st.FFs), fmt.Sprint(st.BRAMs))
+	r := s.Region
+	t.AddRow("dynamic area", "",
+		fmt.Sprintf("%d (%.1f%%)", r.Slices(), 100*float64(r.Slices())/float64(s.Dev.SliceCount())),
+		fmt.Sprint(r.LUTs()), fmt.Sprint(r.FFs()), fmt.Sprint(r.BRAMBudget))
+	t.AddRow("device capacity", "",
+		fmt.Sprint(s.Dev.SliceCount()), fmt.Sprint(s.Dev.LUTCount()),
+		fmt.Sprint(s.Dev.FFCount()), fmt.Sprint(s.Dev.BRAMCount()))
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("device %s, dynamic area %dx%d=%d CLBs", s.Dev.Name, r.W, r.H, r.CLBs()))
+	return t
+}
+
+// transferWords is the sequence length of the transfer measurements.
+const transferWords = 8192
+
+// TransferCPUTable regenerates Table 2 (on Sys32) or Table 7 (on Sys64):
+// average times of program-controlled 32-bit transfers between the dynamic
+// region and external memory.
+func TransferCPUTable(s *platform.System, baseline *Table) *Table {
+	id, title := "T2", "Measured times for data transfers between dynamic region and external memory (32 bit)"
+	if s.Is64 {
+		id, title = "T7", "Measured times for 32-bit data transfers between dynamic region and external memory (CPU controlled)"
+	}
+	t := &Table{ID: id, Title: title,
+		Columns: []string{"transfer type", "time/transfer", "MB/s"}}
+	if baseline != nil {
+		t.Columns = append(t.Columns, "vs 32-bit system")
+	}
+	mustLoad(s, "passthrough")
+	for i, kind := range []tasks.TransferKind{tasks.TransferWrite, tasks.TransferRead, tasks.TransferInterleaved} {
+		avg, err := tasks.TransferCPU(s, kind, transferWords)
+		if err != nil {
+			panic(err)
+		}
+		bytes := 4.0
+		if kind == tasks.TransferInterleaved {
+			bytes = 8.0 // one word each way
+		}
+		row := []string{kind.String(), fmtNS(float64(avg)), fmt.Sprintf("%.1f", bytes/avg.Microseconds())}
+		if baseline != nil {
+			base := baseline.Rows[i][1]
+			row = append(row, fmt.Sprintf("%.1fx faster (was %s)", ratioOf(baseline.rawNS[i], float64(avg)), base))
+		}
+		t.Rows = append(t.Rows, row)
+		t.rawNS = append(t.rawNS, float64(avg))
+	}
+	return t
+}
+
+func ratioOf(a, b float64) float64 { return a / b }
+
+// TransferDMATable regenerates Table 8: DMA-controlled 64-bit transfers.
+func TransferDMATable(s *platform.System) *Table {
+	t := &Table{ID: "T8",
+		Title:   "Measured times for 64-bit data transfers between dynamic region and external memory (DMA-controlled)",
+		Columns: []string{"transfer type", "time/64-bit transfer", "MB/s"}}
+	mustLoad(s, "passthrough")
+	for _, kind := range []tasks.TransferKind{tasks.TransferWrite, tasks.TransferRead, tasks.TransferInterleaved} {
+		avg, err := tasks.TransferDMA(s, kind, transferWords)
+		if err != nil {
+			panic(err)
+		}
+		bytes := 8.0
+		if kind == tasks.TransferInterleaved {
+			bytes = 16.0
+		}
+		t.AddRow(kind.String(), fmtNS(float64(avg)), fmt.Sprintf("%.1f", bytes/avg.Microseconds()))
+		t.rawNS = append(t.rawNS, float64(avg))
+	}
+	t.Notes = append(t.Notes,
+		"interleaved transfers are block-interleaved through the 2047-entry output FIFO (§4.2)")
+	return t
+}
+
+// patternSizes are the image sizes of the pattern-matching tables.
+var patternSizes = []struct{ W, H int }{{64, 64}, {128, 128}, {192, 192}}
+
+// PatternTable regenerates Table 3 (Sys32) or Table 9 (Sys64): software vs
+// hardware bilevel pattern matching.
+func PatternTable(s *platform.System) *Table {
+	id, title := "T3", "Results for pattern matching in binary images (32 bit)"
+	if s.Is64 {
+		id, title = "T9", "Results for pattern matching in binary images (64 bit)"
+	}
+	t := &Table{ID: id, Title: title,
+		Columns: []string{"image", "software", "hardware", "speedup"}}
+	rng := rand.New(rand.NewSource(42))
+	for _, size := range patternSizes {
+		im := ref.NewBinaryImage(size.W, size.H)
+		for i := range im.Words {
+			im.Words[i] = rng.Uint32()
+		}
+		var p ref.Pattern8
+		for j := range p {
+			p[j] = byte(rng.Uint32())
+		}
+		a := tasks.PatternArgs{
+			ImgAddr: s.MemBase() + 0x10_0000, W: size.W, H: size.H,
+			Pattern: p, Threshold: 56, LUTAddr: s.MemBase() + 0x8040,
+		}
+		if err := tasks.LoadPatternImage(s, a.ImgAddr, im); err != nil {
+			panic(err)
+		}
+		if err := tasks.LoadPopcountLUT(s, a.LUTAddr); err != nil {
+			panic(err)
+		}
+		var swRes, hwRes tasks.PatternResult
+		coldCache(s, a.ImgAddr, 4*len(im.Words))
+		swT := s.Measure(func() { swRes = tasks.PatternMatchSW(s, a) })
+		mustLoad(s, "patternmatch")
+		var err error
+		coldCache(s, a.ImgAddr, 4*len(im.Words))
+		hwT := s.Measure(func() { hwRes, err = tasks.PatternMatchHW(s, a) })
+		if err != nil {
+			panic(err)
+		}
+		if swRes != hwRes {
+			panic(fmt.Sprintf("bench: pattern results diverge: sw=%+v hw=%+v", swRes, hwRes))
+		}
+		t.AddRow(fmt.Sprintf("%dx%d", size.W, size.H),
+			fmtNS(float64(swT)), fmtNS(float64(hwT)),
+			fmt.Sprintf("%.1f", float64(swT)/float64(hwT)))
+		t.rawNS = append(t.rawNS, float64(swT)/float64(hwT))
+	}
+	return t
+}
+
+// jenkinsSizes are the key lengths of the hash tables.
+var jenkinsSizes = []int{256, 1024, 4096, 16384, 65536}
+
+// JenkinsTable regenerates Table 4 (Sys32) or Table 10 (Sys64).
+func JenkinsTable(s *platform.System) *Table {
+	id, title := "T4", "Results for hash function (32 bit)"
+	if s.Is64 {
+		id, title = "T10", "Results for a hash function implementation (64 bit)"
+	}
+	t := &Table{ID: id, Title: title,
+		Columns: []string{"key size", "software", "hardware", "speedup"}}
+	rng := rand.New(rand.NewSource(43))
+	for _, n := range jenkinsSizes {
+		key := make([]byte, n)
+		rng.Read(key)
+		addr := s.MemBase() + 0x20_0000
+		if err := s.WriteMem(addr, key); err != nil {
+			panic(err)
+		}
+		a := tasks.JenkinsArgs{KeyAddr: addr, KeyLen: n, InitVal: 0}
+		var swV, hwV uint32
+		coldCache(s, addr, n)
+		swT := s.Measure(func() { swV = tasks.JenkinsSW(s, a) })
+		mustLoad(s, "jenkins")
+		var err error
+		coldCache(s, addr, n)
+		hwT := s.Measure(func() { hwV, err = tasks.JenkinsHW(s, a) })
+		if err != nil {
+			panic(err)
+		}
+		if swV != hwV || swV != ref.Lookup2(key, 0) {
+			panic("bench: hash results diverge")
+		}
+		t.AddRow(fmt.Sprintf("%d B", n),
+			fmtNS(float64(swT)), fmtNS(float64(hwT)),
+			fmt.Sprintf("%.2f", float64(swT)/float64(hwT)))
+		t.rawNS = append(t.rawNS, float64(swT)/float64(hwT))
+	}
+	return t
+}
+
+// sha1Sizes are the message lengths of Table 11.
+var sha1Sizes = []int{64, 1024, 16384, 131072}
+
+// SHA1Table regenerates Table 11 (64-bit system only; the core does not fit
+// the 32-bit dynamic area).
+func SHA1Table(s *platform.System) *Table {
+	t := &Table{ID: "T11", Title: "Results for SHA-1 implementation",
+		Columns: []string{"message", "software", "hardware", "speedup"}}
+	rng := rand.New(rand.NewSource(44))
+	for _, n := range sha1Sizes {
+		msg := make([]byte, n)
+		rng.Read(msg)
+		addr := s.MemBase() + 0x30_0000
+		if err := s.WriteMem(addr, msg); err != nil {
+			panic(err)
+		}
+		a := tasks.SHA1Args{MsgAddr: addr, MsgLen: n, PadAddr: s.MemBase() + 0x60_0000}
+		var swH, hwH [5]uint32
+		var err error
+		coldCache(s, addr, n)
+		swT := s.Measure(func() { swH, err = tasks.SHA1SW(s, a) })
+		if err != nil {
+			panic(err)
+		}
+		mustLoad(s, "sha1")
+		coldCache(s, addr, n)
+		hwT := s.Measure(func() { hwH, err = tasks.SHA1HW(s, a) })
+		if err != nil {
+			panic(err)
+		}
+		if swH != hwH {
+			panic("bench: SHA-1 results diverge")
+		}
+		t.AddRow(fmt.Sprintf("%d B", n),
+			fmtNS(float64(swT)), fmtNS(float64(hwT)),
+			fmt.Sprintf("%.1f", float64(swT)/float64(hwT)))
+		t.rawNS = append(t.rawNS, float64(swT)/float64(hwT))
+	}
+	t.Notes = append(t.Notes,
+		"not reproducible on the 32-bit system: the SHA-1 core does not fit its dynamic area (§4.2)",
+		"the software's fixed overhead dominates small messages and fades with size")
+	return t
+}
+
+// imagePixels is the image size of the image-processing tables (256x256).
+const imagePixels = 256 * 256
+
+// ImageTable32 regenerates Table 5: speedups for the three image tasks with
+// CPU-controlled 32-bit transfers.
+func ImageTable32(s *platform.System) *Table {
+	t := &Table{ID: "T5", Title: "Speedups for simple image processing tasks (32 bit)",
+		Columns: []string{"task", "software", "hardware", "speedup"}}
+	a, check := imageSetup(s)
+	run := func(name string, sw func() error, hw func() error, want []byte) {
+		coldImage(s, a)
+		swT := s.Measure(func() { must(sw()) })
+		s.CPU.Sync()
+		check(name+" sw", want)
+		mustLoad(s, name)
+		coldImage(s, a)
+		hwT := s.Measure(func() { must(hw()) })
+		check(name+" hw", want)
+		t.AddRow(name, fmtNS(float64(swT)), fmtNS(float64(hwT)),
+			fmt.Sprintf("%.2f", float64(swT)/float64(hwT)))
+		t.rawNS = append(t.rawNS, float64(swT)/float64(hwT))
+	}
+	wantB, wantBl, wantF := imageWants(s, a)
+	run("brightness", func() error { return tasks.BrightnessSW(s, a) },
+		func() error { return tasks.BrightnessHW(s, a) }, wantB)
+	run("blend", func() error { return tasks.BlendSW(s, a) },
+		func() error { return tasks.BlendHW(s, a) }, wantBl)
+	run("fade", func() error { return tasks.FadeSW(s, a) },
+		func() error { return tasks.FadeHW(s, a) }, wantF)
+	return t
+}
+
+// ImageTable64 regenerates Table 12: the same tasks with 64-bit DMA
+// transfers, including the data-preparation overhead column.
+func ImageTable64(s *platform.System) *Table {
+	t := &Table{ID: "T12", Title: "Results for simple image processing tasks (64 bit)",
+		Columns: []string{"task", "software", "hardware (DMA)", "data preparation", "speedup"}}
+	a, check := imageSetup(s)
+	scratch := s.MemBase() + 0x60_0000
+	packed := s.MemBase() + 0x80_0000
+	wantB, wantBl, wantF := imageWants(s, a)
+
+	coldImage(s, a)
+	swT := s.Measure(func() { must(tasks.BrightnessSW(s, a)) })
+	s.CPU.Sync()
+	check("brightness sw", wantB)
+	mustLoad(s, "brightness")
+	coldImage(s, a)
+	hwT := s.Measure(func() { must(tasks.BrightnessDMA(s, a, scratch)) })
+	check("brightness dma", wantB)
+	t.AddRow("brightness", fmtNS(float64(swT)), fmtNS(float64(hwT)), "-",
+		fmt.Sprintf("%.2f", float64(swT)/float64(hwT)))
+	t.rawNS = append(t.rawNS, float64(swT)/float64(hwT))
+
+	coldImage(s, a)
+	swT = s.Measure(func() { must(tasks.BlendSW(s, a)) })
+	s.CPU.Sync()
+	check("blend sw", wantBl)
+	mustLoad(s, "blend")
+	var res tasks.CombineDMAResult
+	coldImage(s, a)
+	hwT = s.Measure(func() {
+		r, err := tasks.BlendDMA(s, a, scratch, packed)
+		must(err)
+		res = r
+	})
+	check("blend dma", wantBl)
+	t.AddRow("blend", fmtNS(float64(swT)), fmtNS(float64(hwT)),
+		fmtNS(float64(res.PrepTime)), fmt.Sprintf("%.2f", float64(swT)/float64(hwT)))
+	t.rawNS = append(t.rawNS, float64(swT)/float64(hwT))
+
+	coldImage(s, a)
+	swT = s.Measure(func() { must(tasks.FadeSW(s, a)) })
+	s.CPU.Sync()
+	check("fade sw", wantF)
+	mustLoad(s, "fade")
+	coldImage(s, a)
+	hwT = s.Measure(func() {
+		r, err := tasks.FadeDMA(s, a, scratch, packed)
+		must(err)
+		res = r
+	})
+	check("fade dma", wantF)
+	t.AddRow("fade", fmtNS(float64(swT)), fmtNS(float64(hwT)),
+		fmtNS(float64(res.PrepTime)), fmt.Sprintf("%.2f", float64(swT)/float64(hwT)))
+	t.rawNS = append(t.rawNS, float64(swT)/float64(hwT))
+
+	t.Notes = append(t.Notes,
+		"data preparation: the CPU combines the two source images before DMA (§4.2)")
+	return t
+}
+
+func imageSetup(s *platform.System) (tasks.ImageArgs, func(string, []byte)) {
+	rng := rand.New(rand.NewSource(45))
+	srcA := make([]byte, imagePixels)
+	srcB := make([]byte, imagePixels)
+	rng.Read(srcA)
+	rng.Read(srcB)
+	// The three buffers are offset by odd line counts so they do not alias
+	// in the 2-way set-associative cache.
+	a := tasks.ImageArgs{
+		SrcA: s.MemBase() + 0x10_0000,
+		SrcB: s.MemBase() + 0x20_0040,
+		Dst:  s.MemBase() + 0x30_0080,
+		N:    imagePixels, Delta: 45, F: 96,
+	}
+	must(s.WriteMem(a.SrcA, srcA))
+	must(s.WriteMem(a.SrcB, srcB))
+	check := func(what string, want []byte) {
+		got, err := s.ReadMem(a.Dst, a.N)
+		must(err)
+		for i := range want {
+			if got[i] != want[i] {
+				panic(fmt.Sprintf("bench: %s: pixel %d = %d, want %d", what, i, got[i], want[i]))
+			}
+		}
+	}
+	return a, check
+}
+
+func imageWants(s *platform.System, a tasks.ImageArgs) (b, bl, f []byte) {
+	srcA, err := s.ReadMem(a.SrcA, a.N)
+	must(err)
+	srcB, err := s.ReadMem(a.SrcB, a.N)
+	must(err)
+	b = make([]byte, a.N)
+	bl = make([]byte, a.N)
+	f = make([]byte, a.N)
+	ref.Brightness(b, srcA, a.Delta)
+	ref.Blend(bl, srcA, srcB)
+	ref.Fade(f, srcA, srcB, a.F)
+	return
+}
+
+// ConfigTimeTable is ablation A1: complete vs differential configuration
+// streams — the size/time cost BitLinker pays for state independence.
+func ConfigTimeTable(s *platform.System) *Table {
+	t := &Table{ID: "A1", Title: "Configuration time: complete vs differential partial bitstreams",
+		Columns: []string{"transition", "stream", "size", "time"}}
+	full, err := s.LoadModule("brightness")
+	must(err)
+	size, err := s.Mgr.StreamSize("brightness")
+	must(err)
+	t.AddRow("(blank) -> brightness", "complete", fmt.Sprintf("%d B", size), fmtNS(float64(full)))
+
+	full2, err := s.LoadModule("blend")
+	must(err)
+	size2, err := s.Mgr.StreamSize("blend")
+	must(err)
+	t.AddRow("brightness -> blend", "complete", fmt.Sprintf("%d B", size2), fmtNS(float64(full2)))
+
+	diff, err := s.Mgr.LoadDifferential("brightness", "blend")
+	must(err)
+	t.AddRow("blend -> brightness", "differential", "(frames that differ only)", fmtNS(float64(diff)))
+	t.rawNS = []float64{float64(full2), float64(diff)}
+	t.Notes = append(t.Notes,
+		"complete streams configure correctly from any prior state; differential streams are smaller and faster but assume a known prior state (§2.2)")
+	return t
+}
+
+// HazardTable is ablation A2: what happens when the §2.2 rules are broken.
+func HazardTable(s *platform.System) *Table {
+	t := &Table{ID: "A2", Title: "Reconfiguration correctness scenarios",
+		Columns: []string{"scenario", "bound circuit", "static design"}}
+	report := func(scenario string) {
+		bound := s.Mgr.Current()
+		if bound == "" {
+			bound = "BROKEN"
+		}
+		static := "intact"
+		if s.Mgr.Corrupted() {
+			static = "CORRUPTED"
+		}
+		t.AddRow(scenario, bound, static)
+	}
+	_, err := s.LoadModule("fade")
+	must(err)
+	report("complete load of fade")
+	_, err = s.Mgr.LoadDifferential("blend", "") // assumes blank region
+	must(err)
+	report("differential blend assuming blank region (region held fade)")
+	_, err = s.LoadModule("blend")
+	must(err)
+	report("recovery: complete load of blend")
+	_, err = s.Mgr.LoadDifferential("fade", "blend")
+	must(err)
+	report("differential fade assuming blend (correct assumption)")
+	_, err = s.Mgr.LoadNaive("brightness")
+	must(err)
+	report("naive assembly (zeros outside the region band)")
+	return t
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// coldCache flushes a data range so every measured run starts with a cold
+// cache — measurements are order-independent.
+func coldCache(s *platform.System, addr uint32, n int) {
+	s.CPU.FlushRange(addr, n)
+}
+
+// coldImage flushes the three image buffers.
+func coldImage(s *platform.System, a tasks.ImageArgs) {
+	s.CPU.FlushRange(a.SrcA, a.N)
+	s.CPU.FlushRange(a.SrcB, a.N)
+	s.CPU.FlushRange(a.Dst, a.N)
+}

@@ -1,0 +1,34 @@
+package bitstream
+
+// The configuration logic maintains a running 16-bit CRC over every
+// register-write data word together with the register address, as on
+// Virtex-II (polynomial x^16 + x^15 + x^2 + 1, i.e. 0x8005, bit-serial).
+// Writing the expected value to the CRC register checks it; a mismatch
+// aborts configuration. The CmdRCRC command resets it.
+
+const crcPoly uint32 = 0x8005
+
+// crcUpdate folds one (register, data) pair into the running CRC. The 37-bit
+// value {addr[4:0], data[31:0]} is shifted in LSB first.
+func crcUpdate(crc uint16, reg Reg, data uint32) uint16 {
+	val := uint64(reg&0x1F)<<32 | uint64(data)
+	c := uint32(crc)
+	for i := 0; i < 37; i++ {
+		bit := uint32(val>>uint(i)) & 1
+		msb := c >> 15 & 1
+		c = c<<1 | (bit ^ msb)
+		if msb != 0 {
+			c ^= crcPoly // feedback taps (x^15, x^2 folded via poly)
+		}
+		c &= 0xFFFF
+	}
+	return uint16(c)
+}
+
+// crcStream folds a sequence of data words written to one register.
+func crcStream(crc uint16, reg Reg, words []uint32) uint16 {
+	for _, w := range words {
+		crc = crcUpdate(crc, reg, w)
+	}
+	return crc
+}

@@ -1,0 +1,107 @@
+// Package bitstream implements the configuration stream format of the
+// simulated Virtex-II Pro fabric: synchronization, type-1/type-2 packets,
+// configuration registers, running CRC, frame data input with address
+// auto-increment and pad-frame flushing.
+//
+// The format follows the Virtex-II architecture closely enough that every
+// implementation issue the paper discusses is present: frames are the unit
+// of (re)configuration, partial streams are by nature differential with
+// respect to the current device state, and a complete (non-differential)
+// stream is larger and takes proportionally longer to load.
+package bitstream
+
+import "fmt"
+
+// SyncWord marks the start of packet processing, as on Xilinx devices.
+const SyncWord uint32 = 0xAA995566
+
+// DummyWord pads a stream before synchronization.
+const DummyWord uint32 = 0xFFFFFFFF
+
+// Reg is a configuration register address.
+type Reg uint8
+
+// Configuration registers (Virtex-II register file subset).
+const (
+	RegCRC    Reg = 0  // CRC check register
+	RegFAR    Reg = 1  // frame address register
+	RegFDRI   Reg = 2  // frame data register, input
+	RegFDRO   Reg = 3  // frame data register, output (readback)
+	RegCMD    Reg = 4  // command register
+	RegCTL    Reg = 5  // control register
+	RegMASK   Reg = 6  // control mask
+	RegSTAT   Reg = 7  // status register
+	RegLOUT   Reg = 8  // legacy output
+	RegCOR    Reg = 9  // configuration options
+	RegMFWR   Reg = 10 // multi-frame write (not used by this model)
+	RegFLR    Reg = 11 // frame length register
+	RegIDCODE Reg = 13 // device identification
+)
+
+func (r Reg) String() string {
+	names := map[Reg]string{
+		RegCRC: "CRC", RegFAR: "FAR", RegFDRI: "FDRI", RegFDRO: "FDRO",
+		RegCMD: "CMD", RegCTL: "CTL", RegMASK: "MASK", RegSTAT: "STAT",
+		RegLOUT: "LOUT", RegCOR: "COR", RegMFWR: "MFWR", RegFLR: "FLR",
+		RegIDCODE: "IDCODE",
+	}
+	if n, ok := names[r]; ok {
+		return n
+	}
+	return fmt.Sprintf("Reg(%d)", uint8(r))
+}
+
+// Cmd is a command register opcode.
+type Cmd uint32
+
+// Command register opcodes (Virtex-II subset).
+const (
+	CmdNull   Cmd = 0  // no operation
+	CmdWCFG   Cmd = 1  // enable frame writes
+	CmdLFRM   Cmd = 3  // last frame: flush pipeline
+	CmdRCFG   Cmd = 4  // enable readback
+	CmdStart  Cmd = 5  // begin start-up sequence
+	CmdRCRC   Cmd = 7  // reset CRC register
+	CmdDesync Cmd = 13 // end configuration, resynchronization required
+)
+
+func (c Cmd) String() string {
+	names := map[Cmd]string{
+		CmdNull: "NULL", CmdWCFG: "WCFG", CmdLFRM: "LFRM", CmdRCFG: "RCFG",
+		CmdStart: "START", CmdRCRC: "RCRC", CmdDesync: "DESYNC",
+	}
+	if n, ok := names[c]; ok {
+		return n
+	}
+	return fmt.Sprintf("Cmd(%d)", uint32(c))
+}
+
+// Packet header encoding.
+//
+// Type 1: [31:29]=001 [28:27]=op [17:13]=register [10:0]=word count.
+// Type 2: [31:29]=010 [28:27]=op [26:0]=word count (register from the
+// preceding type-1 header).
+const (
+	opNOP   = 0
+	opRead  = 1
+	opWrite = 2
+)
+
+func type1Header(op int, reg Reg, wc int) uint32 {
+	return 1<<29 | uint32(op&3)<<27 | uint32(reg&0x1F)<<13 | uint32(wc&0x7FF)
+}
+
+func type2Header(op int, wc int) uint32 {
+	return 2<<29 | uint32(op&3)<<27 | uint32(wc&0x7FFFFFF)
+}
+
+// packetType extracts the packet type field from a header word.
+func packetType(w uint32) int { return int(w >> 29 & 7) }
+
+func headerOp(w uint32) int { return int(w >> 27 & 3) }
+
+func headerReg(w uint32) Reg { return Reg(w >> 13 & 0x1F) }
+
+func type1WordCount(w uint32) int { return int(w & 0x7FF) }
+
+func type2WordCount(w uint32) int { return int(w & 0x7FFFFFF) }

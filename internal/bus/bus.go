@@ -1,0 +1,313 @@
+// Package bus models the CoreConnect on-chip buses of the two systems: the
+// 32-bit On-chip Peripheral Bus (OPB), the 64-bit Processor Local Bus (PLB)
+// with burst support, and the PLB→OPB bridge. Transactions are
+// transaction-level: each access computes its duration from protocol
+// parameters and slave wait states, occupies the bus for that span, and
+// optionally blocks the simulated CPU.
+package bus
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Slave is a device attached to a bus. Addresses passed to slaves are
+// bus-relative to the mapping base. Implementations perform the access
+// functionally and return their wait states in bus cycles.
+type Slave interface {
+	Name() string
+	// Read returns the value at addr of the given size in bytes (1, 2, 4,
+	// or 8 on 64-bit capable slaves) and the slave wait cycles.
+	Read(addr uint32, size int) (uint64, int)
+	// Write stores val at addr and returns the slave wait cycles.
+	Write(addr uint32, val uint64, size int) int
+}
+
+// BurstSlave is implemented by slaves that support multi-beat bursts (memory
+// controllers, the PLB Dock). BurstWaits returns the wait cycles for an
+// n-beat burst in addition to the per-beat cycles.
+type BurstSlave interface {
+	Slave
+	BurstWaits(addr uint32, beats int, write bool) int
+}
+
+// Params are the protocol cycle costs of a bus.
+type Params struct {
+	// ArbCycles covers arbitration plus the address phase.
+	ArbCycles int
+	// ReadExtra is added to read transactions (data return path).
+	ReadExtra int
+	// WriteExtra is added to write transactions.
+	WriteExtra int
+	// BeatCycles is the cost of each data beat (normally 1).
+	BeatCycles int
+}
+
+type mapping struct {
+	base, size uint32
+	slave      Slave
+}
+
+// Bus is one bus instance: a clock domain, protocol parameters, an address
+// map, and an occupancy resource for contention between masters.
+type Bus struct {
+	name  string
+	k     *sim.Kernel
+	clk   *sim.Clock
+	width int // bytes per beat: 4 (OPB) or 8 (PLB)
+	p     Params
+	maps  []mapping
+	res   *sim.Resource
+
+	reads, writes, bursts uint64
+}
+
+// New returns a bus. width is the data width in bytes (4 or 8).
+func New(name string, k *sim.Kernel, clk *sim.Clock, width int, p Params) *Bus {
+	if width != 4 && width != 8 {
+		panic("bus: width must be 4 or 8 bytes")
+	}
+	if p.BeatCycles <= 0 {
+		p.BeatCycles = 1
+	}
+	return &Bus{name: name, k: k, clk: clk, width: width, p: p, res: sim.NewResource(k, name)}
+}
+
+// Name returns the bus name.
+func (b *Bus) Name() string { return b.name }
+
+// Clock returns the bus clock domain.
+func (b *Bus) Clock() *sim.Clock { return b.clk }
+
+// Width returns the data width in bytes.
+func (b *Bus) Width() int { return b.width }
+
+// Utilization reports the bus occupancy fraction since time zero.
+func (b *Bus) Utilization() float64 { return b.res.Utilization() }
+
+// Stats reports transaction counts.
+func (b *Bus) Stats() (reads, writes, bursts uint64) { return b.reads, b.writes, b.bursts }
+
+// Map attaches a slave at [base, base+size). Overlaps are rejected.
+func (b *Bus) Map(base, size uint32, s Slave) error {
+	if size == 0 {
+		return fmt.Errorf("bus %s: empty mapping for %s", b.name, s.Name())
+	}
+	for _, m := range b.maps {
+		if base < m.base+m.size && m.base < base+size {
+			return fmt.Errorf("bus %s: mapping for %s overlaps %s", b.name, s.Name(), m.slave.Name())
+		}
+	}
+	b.maps = append(b.maps, mapping{base: base, size: size, slave: s})
+	return nil
+}
+
+// decode finds the slave owning addr.
+func (b *Bus) decode(addr uint32) (Slave, uint32, error) {
+	for _, m := range b.maps {
+		if addr >= m.base && addr-m.base < m.size {
+			return m.slave, addr - m.base, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("bus %s: no slave at address %#08x (bus error)", b.name, addr)
+}
+
+// checkSize validates an access size against the bus width.
+func (b *Bus) checkSize(size int) error {
+	switch size {
+	case 1, 2, 4:
+		return nil
+	case 8:
+		if b.width >= 8 {
+			return nil
+		}
+		return fmt.Errorf("bus %s: 64-bit access on a 32-bit bus", b.name)
+	default:
+		return fmt.Errorf("bus %s: unsupported access size %d", b.name, size)
+	}
+}
+
+// beats returns the number of data beats for size bytes.
+func (b *Bus) beats(size int) int {
+	n := (size + b.width - 1) / b.width
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Read performs a blocking single read: the caller (the CPU) is stalled for
+// the queueing delay plus the transaction; the kernel is advanced.
+func (b *Bus) Read(addr uint32, size int) (uint64, error) {
+	v, d, err := b.readTransact(addr, size)
+	if err != nil {
+		return 0, err
+	}
+	_, done := b.res.Acquire(d)
+	b.k.AdvanceTo(done)
+	return v, nil
+}
+
+// readTransact performs the functional read and computes the duration.
+func (b *Bus) readTransact(addr uint32, size int) (uint64, sim.Time, error) {
+	if err := b.checkSize(size); err != nil {
+		return 0, 0, err
+	}
+	s, off, err := b.decode(addr)
+	if err != nil {
+		return 0, 0, err
+	}
+	v, waits := s.Read(off, size)
+	cycles := b.p.ArbCycles + waits + b.p.ReadExtra + b.beats(size)*b.p.BeatCycles
+	b.reads++
+	return v, b.clk.Cycles(uint64(cycles)), nil
+}
+
+// Write performs a blocking single write.
+func (b *Bus) Write(addr uint32, val uint64, size int) error {
+	d, err := b.writeTransact(addr, val, size)
+	if err != nil {
+		return err
+	}
+	_, done := b.res.Acquire(d)
+	b.k.AdvanceTo(done)
+	return nil
+}
+
+// WritePosted performs the functional write immediately and occupies the bus
+// in the background, returning the completion time without advancing the
+// kernel. CPU write buffers and the bridge's posted writes use it.
+func (b *Bus) WritePosted(addr uint32, val uint64, size int) (sim.Time, error) {
+	d, err := b.writeTransact(addr, val, size)
+	if err != nil {
+		return 0, err
+	}
+	_, done := b.res.Acquire(d)
+	return done, nil
+}
+
+func (b *Bus) writeTransact(addr uint32, val uint64, size int) (sim.Time, error) {
+	if err := b.checkSize(size); err != nil {
+		return 0, err
+	}
+	s, off, err := b.decode(addr)
+	if err != nil {
+		return 0, err
+	}
+	waits := s.Write(off, val, size)
+	cycles := b.p.ArbCycles + waits + b.p.WriteExtra + b.beats(size)*b.p.BeatCycles
+	b.writes++
+	return b.clk.Cycles(uint64(cycles)), nil
+}
+
+// BurstRead performs a functional+timed burst read of beats bus-width beats
+// starting at addr, in the background (no kernel advance). It returns the
+// data and the completion time.
+func (b *Bus) BurstRead(addr uint32, beats int) ([]uint64, sim.Time, error) {
+	s, off, err := b.decode(addr)
+	if err != nil {
+		return nil, 0, err
+	}
+	bs, ok := s.(BurstSlave)
+	if !ok {
+		return nil, 0, fmt.Errorf("bus %s: slave %s does not support bursts", b.name, s.Name())
+	}
+	if err := b.checkBurst(addr, beats); err != nil {
+		return nil, 0, err
+	}
+	data := make([]uint64, beats)
+	for i := range data {
+		v, _ := bs.Read(off+uint32(i*b.width), b.width)
+		data[i] = v
+	}
+	waits := bs.BurstWaits(off, beats, false)
+	cycles := b.p.ArbCycles + waits + b.p.ReadExtra + beats*b.p.BeatCycles
+	_, done := b.res.Acquire(b.clk.Cycles(uint64(cycles)))
+	b.bursts++
+	return data, done, nil
+}
+
+// BurstWrite performs a functional+timed burst write in the background.
+func (b *Bus) BurstWrite(addr uint32, data []uint64) (sim.Time, error) {
+	s, off, err := b.decode(addr)
+	if err != nil {
+		return 0, err
+	}
+	bs, ok := s.(BurstSlave)
+	if !ok {
+		return 0, fmt.Errorf("bus %s: slave %s does not support bursts", b.name, s.Name())
+	}
+	if err := b.checkBurst(addr, len(data)); err != nil {
+		return 0, err
+	}
+	for i, v := range data {
+		bs.Write(off+uint32(i*b.width), v, b.width)
+	}
+	waits := bs.BurstWaits(off, len(data), true)
+	cycles := b.p.ArbCycles + waits + b.p.WriteExtra + len(data)*b.p.BeatCycles
+	_, done := b.res.Acquire(b.clk.Cycles(uint64(cycles)))
+	b.bursts++
+	return done, nil
+}
+
+// BurstPenalty occupies the bus for the duration of a burst without data
+// movement. The cache model uses it for line fills and write-backs, whose
+// data is functionally already in memory (the cache is a timing model).
+func (b *Bus) BurstPenalty(addr uint32, beats int, write bool) (sim.Time, error) {
+	s, off, err := b.decode(addr)
+	if err != nil {
+		return 0, err
+	}
+	waits := 0
+	if bs, ok := s.(BurstSlave); ok {
+		waits = bs.BurstWaits(off, beats, write)
+	} else {
+		// Non-burst slaves degrade to per-beat wait states.
+		if write {
+			waits = beats * s.Write(off, 0, b.width)
+		} else {
+			_, w := s.Read(off, b.width)
+			waits = beats * w
+		}
+	}
+	extra := b.p.ReadExtra
+	if write {
+		extra = b.p.WriteExtra
+	}
+	cycles := b.p.ArbCycles + waits + extra + beats*b.p.BeatCycles
+	_, done := b.res.Acquire(b.clk.Cycles(uint64(cycles)))
+	b.bursts++
+	return done, nil
+}
+
+func (b *Bus) checkBurst(addr uint32, beats int) error {
+	if beats <= 0 {
+		return fmt.Errorf("bus %s: empty burst", b.name)
+	}
+	// The whole burst must stay within one mapping.
+	if _, _, err := b.decode(addr + uint32(beats*b.width) - 1); err != nil {
+		return fmt.Errorf("bus %s: burst crosses mapping boundary: %w", b.name, err)
+	}
+	return nil
+}
+
+// Peek reads functionally with no timing effect (debugger/test access).
+func (b *Bus) Peek(addr uint32, size int) (uint64, error) {
+	s, off, err := b.decode(addr)
+	if err != nil {
+		return 0, err
+	}
+	v, _ := s.Read(off, size)
+	return v, nil
+}
+
+// Poke writes functionally with no timing effect.
+func (b *Bus) Poke(addr uint32, val uint64, size int) error {
+	s, off, err := b.decode(addr)
+	if err != nil {
+		return err
+	}
+	s.Write(off, val, size)
+	return nil
+}

@@ -1,0 +1,126 @@
+// Package busmacro models LUT-based bus macros (paper §2.2, figure 2): the
+// fixed-position port contract that lets separately-implemented components
+// communicate after their configurations are assembled. Each signal crosses
+// the boundary between the static design and the dynamic area through a pair
+// of route-through LUTs at agreed positions; a component is compatible with
+// a dock only if its ports line up with the macro, which the assembly tool
+// verifies before producing a configuration.
+package busmacro
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+)
+
+// Side says on which edge of the dynamic region the macro column sits.
+type Side uint8
+
+const (
+	// LeftEdge places the static side of the macro on the column just left
+	// of the region.
+	LeftEdge Side = iota
+	// RightEdge places it just right of the region.
+	RightEdge
+)
+
+func (s Side) String() string {
+	if s == LeftEdge {
+		return "left"
+	}
+	return "right"
+}
+
+// Macro is a LUT-based bus macro specification: the widths of the write and
+// read channels, the control signals, and the boundary placement.
+type Macro struct {
+	Name string
+	// DataIn is the width of the write channel (static → dynamic).
+	DataIn int
+	// DataOut is the width of the read channel (dynamic → static).
+	DataOut int
+	// Ctrl lists control signals crossing the boundary (e.g. the write
+	// strobe the OPB Dock generates, usable as a clock enable, §3.1).
+	Ctrl []string
+	// Side is the region edge the macro crosses.
+	Side Side
+	// Row0 is the first region-relative row occupied by macro LUTs.
+	Row0 int
+}
+
+// lutsPerRow is how many route-through LUTs fit in one CLB row of the
+// boundary column (4 slices x 2 LUTs).
+const lutsPerRow = 8
+
+// SignalCount returns the number of boundary-crossing signals.
+func (m *Macro) SignalCount() int { return m.DataIn + m.DataOut + len(m.Ctrl) }
+
+// RowsNeeded returns how many CLB rows of the boundary columns the macro
+// occupies.
+func (m *Macro) RowsNeeded() int {
+	return (m.SignalCount() + lutsPerRow - 1) / lutsPerRow
+}
+
+// Resources returns the fabric cost of the macro: one route-through LUT per
+// signal on each side of the boundary. LUT-based macros are used "since they
+// consume less area" than tristate ones (§2.2).
+func (m *Macro) Resources() fabric.Resources {
+	luts := 2 * m.SignalCount()
+	return fabric.Resources{LUTs: luts, Slices: (luts + 1) / 2, FFs: 0}
+}
+
+// Validate checks that the macro fits the region boundary on the device: the
+// static-side column must exist and the occupied rows must lie inside the
+// region band.
+func (m *Macro) Validate(d *fabric.Device, r fabric.Region) error {
+	staticCol := r.Col0 - 1
+	if m.Side == RightEdge {
+		staticCol = r.Col0 + r.W
+	}
+	if staticCol < 0 || staticCol >= d.Cols {
+		return fmt.Errorf("busmacro: %s: static-side column %d outside device %s", m.Name, staticCol, d.Name)
+	}
+	if m.Row0 < 0 || m.Row0+m.RowsNeeded() > r.H {
+		return fmt.Errorf("busmacro: %s: rows [%d,%d) exceed region band of %d rows",
+			m.Name, m.Row0, m.Row0+m.RowsNeeded(), r.H)
+	}
+	if d.SiteDisplaced(r.Row0+m.Row0, staticCol) {
+		return fmt.Errorf("busmacro: %s: static-side column %d displaced by a hard block", m.Name, staticCol)
+	}
+	return nil
+}
+
+// Compatible reports whether two macro specifications describe the same port
+// contract: identical widths, control signals, side and row placement. A
+// component built against macro a can dock onto macro b only when this holds
+// — the assembly-time check the paper attributes to the configuration tool.
+func Compatible(a, b *Macro) bool {
+	if a.DataIn != b.DataIn || a.DataOut != b.DataOut ||
+		a.Side != b.Side || a.Row0 != b.Row0 || len(a.Ctrl) != len(b.Ctrl) {
+		return false
+	}
+	for i := range a.Ctrl {
+		if a.Ctrl[i] != b.Ctrl[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Macro) String() string {
+	return fmt.Sprintf("%s: in=%d out=%d ctrl=%d @%s edge rows[%d,%d)",
+		m.Name, m.DataIn, m.DataOut, len(m.Ctrl), m.Side, m.Row0, m.Row0+m.RowsNeeded())
+}
+
+// Dock32 is the bus macro of the 32-bit system's OPB Dock: two 32-bit
+// unidirectional channels plus the write-strobe signal (§3.1).
+func Dock32() *Macro {
+	return &Macro{Name: "dock32", DataIn: 32, DataOut: 32, Ctrl: []string{"WE"}, Side: RightEdge, Row0: 1}
+}
+
+// Dock64 is the bus macro of the 64-bit system's PLB Dock: 64-bit channels,
+// write strobe, plus read-enable and output-valid handshakes for the output
+// FIFO path (§4.1).
+func Dock64() *Macro {
+	return &Macro{Name: "dock64", DataIn: 64, DataOut: 64, Ctrl: []string{"WE", "RE", "OV"}, Side: RightEdge, Row0: 1}
+}

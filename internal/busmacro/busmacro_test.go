@@ -1,0 +1,72 @@
+package busmacro
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+)
+
+func TestDockMacrosFitTheirRegions(t *testing.T) {
+	if err := Dock32().Validate(fabric.XC2VP7(), fabric.DynamicRegion32()); err != nil {
+		t.Errorf("dock32 macro does not fit its region: %v", err)
+	}
+	if err := Dock64().Validate(fabric.XC2VP30(), fabric.DynamicRegion64()); err != nil {
+		t.Errorf("dock64 macro does not fit its region: %v", err)
+	}
+}
+
+func TestSignalAndRowCounts(t *testing.T) {
+	m := Dock32()
+	if got := m.SignalCount(); got != 65 {
+		t.Errorf("dock32 signals = %d, want 65 (32+32+WE)", got)
+	}
+	if got := m.RowsNeeded(); got != 9 { // ceil(65/8)
+		t.Errorf("dock32 rows = %d, want 9", got)
+	}
+	m64 := Dock64()
+	if got := m64.SignalCount(); got != 131 {
+		t.Errorf("dock64 signals = %d, want 131 (64+64+3)", got)
+	}
+	res := m.Resources()
+	if res.LUTs != 130 || res.Slices != 65 {
+		t.Errorf("dock32 resources = %+v", res)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	d := fabric.XC2VP7()
+	r := fabric.DynamicRegion32()
+	tooTall := &Macro{Name: "tall", DataIn: 64, DataOut: 64, Side: RightEdge, Row0: 8}
+	if err := tooTall.Validate(d, r); err == nil {
+		t.Error("macro exceeding region band accepted")
+	}
+	offLeft := &Macro{Name: "off", DataIn: 1, DataOut: 1, Side: LeftEdge, Row0: 0}
+	if err := offLeft.Validate(d, r); err == nil {
+		t.Error("macro off the left device edge accepted (region touches column 0)")
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	a, b := Dock32(), Dock32()
+	if !Compatible(a, b) {
+		t.Error("identical macros reported incompatible")
+	}
+	if Compatible(Dock32(), Dock64()) {
+		t.Error("dock32 and dock64 reported compatible")
+	}
+	c := Dock32()
+	c.Row0 = 2
+	if Compatible(a, c) {
+		t.Error("different row placement reported compatible")
+	}
+	d := Dock32()
+	d.Ctrl = []string{"CE"}
+	if Compatible(a, d) {
+		t.Error("different control signals reported compatible")
+	}
+	e := Dock32()
+	e.Side = LeftEdge
+	if Compatible(a, e) {
+		t.Error("different side reported compatible")
+	}
+}

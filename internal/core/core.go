@@ -1,0 +1,242 @@
+// Package core implements the run-time reconfiguration manager — the
+// paper's methodology as a library. It owns one dynamic area: it keeps the
+// store of relocatable components, assembles complete partial configurations
+// with the BitLinker flow (cached per module), streams them through the
+// HWICAP under CPU control, verifies that the static design was not
+// disturbed, and binds the dynamic region's behavioural core to the dock
+// after every reconfiguration by hashing the configuration contents.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitlinker"
+	"repro/internal/bitstream"
+	"repro/internal/cpu"
+	"repro/internal/fabric"
+	"repro/internal/hw"
+	"repro/internal/icap"
+	"repro/internal/sim"
+)
+
+// Config wires a Manager into a platform.
+type Config struct {
+	Device    *fabric.Device
+	Region    fabric.Region
+	ConfigMem *fabric.ConfigMemory
+	// Baseline is the configuration image right after the initial full
+	// configuration (static design present, region blank).
+	Baseline *fabric.ConfigMemory
+	// Assembler is the BitLinker instance for the region.
+	Assembler *bitlinker.Assembler
+	// Loader is the device's configuration logic (shared with the HWICAP).
+	Loader *bitstream.Loader
+	// CPU drives the HWICAP; ICAPBase is its bus address.
+	CPU      *cpu.CPU
+	ICAPBase uint32
+	// Bind attaches a behavioural core to the dock.
+	Bind func(hw.Core)
+	// Kernel provides timing for configuration statistics.
+	Kernel *sim.Kernel
+}
+
+// entry is one registered module.
+type entry struct {
+	comp    *bitlinker.Component
+	factory func() hw.Core
+	// assembled holds the cached complete configuration.
+	assembled *bitlinker.Result
+	// target is the post-load configuration image (for differential
+	// assembly experiments).
+	target *fabric.ConfigMemory
+	loads  uint64
+}
+
+// Manager is the run-time reconfiguration manager of one dynamic area.
+type Manager struct {
+	cfg        Config
+	modules    map[string]*entry
+	byHash     map[uint64]*entry
+	current    string
+	staticHash uint64
+
+	loadCount     uint64
+	loadTime      sim.Time
+	bytesStreamed uint64
+	corrupted     bool
+}
+
+// NewManager returns a manager for the configured dynamic area.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Device == nil || cfg.ConfigMem == nil || cfg.Baseline == nil ||
+		cfg.Assembler == nil || cfg.Loader == nil || cfg.CPU == nil ||
+		cfg.Bind == nil || cfg.Kernel == nil {
+		return nil, fmt.Errorf("core: incomplete manager configuration")
+	}
+	m := &Manager{
+		cfg:        cfg,
+		modules:    make(map[string]*entry),
+		byHash:     make(map[uint64]*entry),
+		staticHash: cfg.Baseline.StaticHash(cfg.Region),
+	}
+	cfg.Loader.OnDone(m.rebind)
+	return m, nil
+}
+
+// Register adds a module: its relocatable component and behavioural factory.
+// The complete partial configuration is assembled once and cached; its
+// region hash is indexed for post-configuration binding.
+func (m *Manager) Register(comp *bitlinker.Component, factory func() hw.Core) error {
+	if _, dup := m.modules[comp.Name]; dup {
+		return fmt.Errorf("core: module %s already registered", comp.Name)
+	}
+	placed := bitlinker.Placed{C: comp, ColOff: m.cfg.Region.W - comp.W}
+	res, err := m.cfg.Assembler.Assemble(placed)
+	if err != nil {
+		return fmt.Errorf("core: assembling %s: %w", comp.Name, err)
+	}
+	target := m.cfg.Assembler.Target(placed)
+	e := &entry{comp: comp, factory: factory, assembled: res, target: target}
+	m.modules[comp.Name] = e
+	m.byHash[res.RegionHash] = e
+	return nil
+}
+
+// Modules lists the registered module names, sorted.
+func (m *Manager) Modules() []string {
+	names := make([]string, 0, len(m.modules))
+	for n := range m.modules {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Current returns the name of the loaded module ("" when none or unknown).
+func (m *Manager) Current() string { return m.current }
+
+// Corrupted reports whether a reconfiguration has damaged the static design
+// (never happens with BitLinker-assembled streams; the naive/differential
+// experiment paths can trigger it).
+func (m *Manager) Corrupted() bool { return m.corrupted }
+
+// Stats reports load count, cumulative configuration time and streamed
+// bytes.
+func (m *Manager) Stats() (loads uint64, total sim.Time, bytes uint64) {
+	return m.loadCount, m.loadTime, m.bytesStreamed
+}
+
+// StreamSize returns the size in bytes of a module's cached complete
+// configuration.
+func (m *Manager) StreamSize(name string) (int, error) {
+	e, ok := m.modules[name]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown module %s", name)
+	}
+	return e.assembled.Stream.SizeBytes(), nil
+}
+
+// Load reconfigures the dynamic area with the named module's complete
+// configuration, streaming it through the HWICAP under CPU control. It
+// returns the configuration time. Loading the already-current module is a
+// no-op (the paper's systems likewise keep a configuration until another
+// task needs the area).
+func (m *Manager) Load(name string) (sim.Time, error) {
+	e, ok := m.modules[name]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown module %s", name)
+	}
+	if m.current == name && !m.corrupted {
+		return 0, nil
+	}
+	return m.stream(e.assembled.Stream)
+}
+
+// LoadDifferential assembles and loads a differential configuration for the
+// named module, valid only if the region currently holds assumed's
+// configuration. This is the smaller/faster stream of §2.2 — and the hazard
+// demonstration when assumed does not match reality.
+func (m *Manager) LoadDifferential(name, assumed string) (sim.Time, error) {
+	e, ok := m.modules[name]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown module %s", name)
+	}
+	base := m.cfg.Baseline
+	if assumed != "" {
+		ae, ok := m.modules[assumed]
+		if !ok {
+			return 0, fmt.Errorf("core: unknown assumed module %s", assumed)
+		}
+		base = ae.target
+	}
+	placed := bitlinker.Placed{C: e.comp, ColOff: m.cfg.Region.W - e.comp.W}
+	res, err := m.cfg.Assembler.AssembleDifferential(base, placed)
+	if err != nil {
+		return 0, err
+	}
+	return m.stream(res.Stream)
+}
+
+// LoadNaive streams a naively assembled configuration (zeros outside the
+// region band) — the §2.2 hazard that corrupts the static design.
+func (m *Manager) LoadNaive(name string) (sim.Time, error) {
+	e, ok := m.modules[name]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown module %s", name)
+	}
+	placed := bitlinker.Placed{C: e.comp, ColOff: m.cfg.Region.W - e.comp.W}
+	res, err := m.cfg.Assembler.AssembleNaive(placed)
+	if err != nil {
+		return 0, err
+	}
+	return m.stream(res.Stream)
+}
+
+// stream drives the words through the HWICAP with CPU stores and checks the
+// completion status.
+func (m *Manager) stream(s *bitstream.Stream) (sim.Time, error) {
+	c := m.cfg.CPU
+	start := m.cfg.Kernel.Now()
+	for _, w := range s.Words {
+		c.SW(m.cfg.ICAPBase+icap.RegWriteFIFO, w)
+	}
+	c.Sync()
+	// Poll the status register until the engine reports done or error.
+	var status uint32
+	err := c.Spin(32, func() bool {
+		status = c.LW(m.cfg.ICAPBase + icap.RegStatus)
+		return status&(icap.StatDone|icap.StatError) != 0 && status&icap.StatBusy == 0
+	})
+	elapsed := m.cfg.Kernel.Now() - start
+	m.loadCount++
+	m.loadTime += elapsed
+	m.bytesStreamed += uint64(s.SizeBytes())
+	if err != nil {
+		return elapsed, err
+	}
+	if status&icap.StatError != 0 {
+		return elapsed, fmt.Errorf("core: configuration error reported by HWICAP")
+	}
+	return elapsed, nil
+}
+
+// rebind runs after every completed configuration sequence: it hashes the
+// region, binds the matching behavioural core (or a BrokenCore), and checks
+// the static design for disturbance.
+func (m *Manager) rebind() {
+	h := m.cfg.ConfigMem.RegionHash(m.cfg.Region)
+	if e, ok := m.byHash[h]; ok {
+		e.loads++
+		m.current = e.comp.Name
+		core := e.factory()
+		core.Reset()
+		m.cfg.Bind(core)
+	} else {
+		m.current = ""
+		m.cfg.Bind(hw.NewBrokenCore(h))
+	}
+	if m.cfg.ConfigMem.StaticHash(m.cfg.Region) != m.staticHash {
+		m.corrupted = true
+	}
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bitlinker"
+	"repro/internal/bitstream"
+	"repro/internal/bus"
+	"repro/internal/busmacro"
+	"repro/internal/cpu"
+	"repro/internal/fabric"
+	"repro/internal/hw"
+	"repro/internal/icap"
+	"repro/internal/sim"
+)
+
+// testCore is a minimal behavioural model for manager tests.
+type testCore struct{ id uint64 }
+
+func (c *testCore) Name() string             { return "test" }
+func (c *testCore) Reset()                   {}
+func (c *testCore) Write(v uint64, size int) {}
+func (c *testCore) Read() uint64             { return c.id }
+func (c *testCore) PopOut() (uint64, bool)   { return 0, false }
+func (c *testCore) CyclesPerWord() int       { return 1 }
+
+// rig assembles a minimal platform around a manager: CPU, one bus, HWICAP.
+func rig(t *testing.T) (*Manager, *fabric.ConfigMemory, fabric.Region, func() hw.Core) {
+	t.Helper()
+	dev := fabric.XC2VP7()
+	region := fabric.DynamicRegion32()
+	cm := fabric.NewConfigMemory(dev)
+	baseline := cm.Clone()
+	loader := bitstream.NewLoader(cm)
+
+	k := sim.NewKernel()
+	busClk := sim.NewClock("bus", 50_000_000)
+	cpuClk := sim.NewClock("cpu", 200_000_000)
+	b := bus.New("plb", k, busClk, 8, bus.Params{ArbCycles: 2, ReadExtra: 2, BeatCycles: 1})
+	hi := icap.New(k, busClk, loader)
+	if err := b.Map(0x4100_0000, 0x100, hi); err != nil {
+		t.Fatal(err)
+	}
+	params := cpu.DefaultParams(cpuClk)
+	params.CacheSize = 0
+	c := cpu.New(k, params, b)
+
+	macro := busmacro.Dock32()
+	asm, err := bitlinker.New(dev, region, baseline, macro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bound hw.Core
+	mgr, err := NewManager(Config{
+		Device: dev, Region: region, ConfigMem: cm, Baseline: baseline,
+		Assembler: asm, Loader: loader, CPU: c, ICAPBase: 0x4100_0000,
+		Bind:   func(core hw.Core) { bound = core },
+		Kernel: k,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mgr, cm, region, func() hw.Core { return bound }
+}
+
+func testComponent(name string, region fabric.Region) *bitlinker.Component {
+	return testComponentW(name, region, 6)
+}
+
+// testComponentW builds a component of the given footprint width. Widths
+// matter for the differential-hazard test: a differential stream only
+// touches the columns its own component uses, so stale state survives when
+// the previous occupant was wider.
+func testComponentW(name string, region fabric.Region, w int) *bitlinker.Component {
+	macro := busmacro.Dock32()
+	return &bitlinker.Component{
+		Name: name, Version: "1", W: w, H: region.H,
+		Resources: fabric.Resources{Slices: 100},
+		Macro:     macro, PortRow0: macro.Row0,
+		CLBFrames: bitlinker.SynthesizeFrames(name, "1", w, region.H),
+	}
+}
+
+func TestRegisterAndLoad(t *testing.T) {
+	mgr, _, region, bound := rig(t)
+	if err := mgr.Register(testComponent("alpha", region), func() hw.Core { return &testCore{id: 1} }); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Register(testComponent("beta", region), func() hw.Core { return &testCore{id: 2} }); err != nil {
+		t.Fatal(err)
+	}
+	if got := mgr.Modules(); len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Fatalf("modules = %v", got)
+	}
+	d, err := mgr.Load("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == 0 {
+		t.Fatal("load cost no time")
+	}
+	if mgr.Current() != "alpha" || bound() == nil || bound().Read() != 1 {
+		t.Fatal("alpha not bound")
+	}
+	// Swap and check rebinding.
+	if _, err := mgr.Load("beta"); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Current() != "beta" || bound().Read() != 2 {
+		t.Fatal("beta not bound after swap")
+	}
+	// Re-loading the current module is free.
+	d, err = mgr.Load("beta")
+	if err != nil || d != 0 {
+		t.Fatalf("reload: d=%v err=%v", d, err)
+	}
+	loads, total, bytes := mgr.Stats()
+	if loads != 2 || total == 0 || bytes == 0 {
+		t.Fatalf("stats: %d %v %d", loads, total, bytes)
+	}
+	if mgr.Corrupted() {
+		t.Fatal("corrupted after clean loads")
+	}
+}
+
+func TestDuplicateAndUnknown(t *testing.T) {
+	mgr, _, region, _ := rig(t)
+	if err := mgr.Register(testComponent("alpha", region), func() hw.Core { return &testCore{} }); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Register(testComponent("alpha", region), func() hw.Core { return &testCore{} }); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if _, err := mgr.Load("nope"); err == nil {
+		t.Fatal("unknown module loaded")
+	}
+	if _, err := mgr.LoadDifferential("nope", ""); err == nil {
+		t.Fatal("unknown differential module loaded")
+	}
+	if _, err := mgr.LoadNaive("nope"); err == nil {
+		t.Fatal("unknown naive module loaded")
+	}
+	if _, err := mgr.StreamSize("nope"); err == nil {
+		t.Fatal("unknown stream size")
+	}
+	if n, err := mgr.StreamSize("alpha"); err != nil || n == 0 {
+		t.Fatalf("stream size: %d %v", n, err)
+	}
+}
+
+func TestDifferentialBindsBrokenOnWrongState(t *testing.T) {
+	mgr, _, region, bound := rig(t)
+	// alpha is wider than beta: a differential stream for beta leaves
+	// alpha's extra columns stale.
+	if err := mgr.Register(testComponentW("alpha", region, 12), func() hw.Core { return &testCore{id: 1} }); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Register(testComponentW("beta", region, 6), func() hw.Core { return &testCore{id: 2} }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Load("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	// Differential for beta assuming a blank region — wrong, alpha is there.
+	if _, err := mgr.LoadDifferential("beta", ""); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Current() != "" {
+		t.Fatalf("current = %q, want broken binding", mgr.Current())
+	}
+	if _, ok := bound().(*hw.BrokenCore); !ok {
+		t.Fatal("expected BrokenCore")
+	}
+	// Differential with the right assumption works.
+	if _, err := mgr.Load("beta"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.LoadDifferential("alpha", "beta"); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Current() != "alpha" {
+		t.Fatal("correct differential did not bind")
+	}
+}
+
+func TestNaiveLoadCorrupts(t *testing.T) {
+	mgr, cm, region, _ := rig(t)
+	// Give the static area some content so corruption is observable.
+	dev := cm.Device()
+	frame := make([]uint32, dev.FrameLen())
+	for i := range frame {
+		frame[i] = 0xA5A5A5A5
+	}
+	// Write outside the region band only — region columns' band stays blank.
+	far := fabric.FAR{Block: fabric.BlockCLB, Major: region.Col0, Minor: 0}
+	lo, hi := dev.RowWordRange(region.Row0, region.H)
+	for i := lo; i < hi; i++ {
+		frame[i] = 0
+	}
+	if err := cm.WriteFrame(far, frame); err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the manager against this baseline.
+	_ = mgr
+	mgr2, _, _, _ := rigWithState(t, cm)
+	if err := mgr2.Register(testComponent("alpha", region), func() hw.Core { return &testCore{} }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr2.LoadNaive("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if !mgr2.Corrupted() {
+		t.Fatal("naive load did not corrupt the static design")
+	}
+}
+
+// rigWithState builds a manager over an existing configuration state.
+func rigWithState(t *testing.T, cm *fabric.ConfigMemory) (*Manager, *fabric.ConfigMemory, fabric.Region, func() hw.Core) {
+	t.Helper()
+	dev := cm.Device()
+	region := fabric.DynamicRegion32()
+	baseline := cm.Clone()
+	loader := bitstream.NewLoader(cm)
+	k := sim.NewKernel()
+	busClk := sim.NewClock("bus", 50_000_000)
+	cpuClk := sim.NewClock("cpu", 200_000_000)
+	b := bus.New("plb", k, busClk, 8, bus.Params{ArbCycles: 2, ReadExtra: 2, BeatCycles: 1})
+	hi := icap.New(k, busClk, loader)
+	if err := b.Map(0x4100_0000, 0x100, hi); err != nil {
+		t.Fatal(err)
+	}
+	params := cpu.DefaultParams(cpuClk)
+	params.CacheSize = 0
+	c := cpu.New(k, params, b)
+	asm, err := bitlinker.New(dev, region, baseline, busmacro.Dock32())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bound hw.Core
+	mgr, err := NewManager(Config{
+		Device: dev, Region: region, ConfigMem: cm, Baseline: baseline,
+		Assembler: asm, Loader: loader, CPU: c, ICAPBase: 0x4100_0000,
+		Bind:   func(core hw.Core) { bound = core },
+		Kernel: k,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mgr, cm, region, func() hw.Core { return bound }
+}
+
+func TestIncompleteConfigRejected(t *testing.T) {
+	if _, err := NewManager(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}

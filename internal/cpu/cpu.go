@@ -1,0 +1,373 @@
+// Package cpu models the embedded PowerPC 405 core at transaction level:
+// software is written as Go code against a costed primitive API (ALU ops,
+// branches, loads/stores), and every primitive advances simulated time
+// according to the core's parameters, the data cache model, and the bus.
+//
+// Two properties of the real core that the paper leans on are enforced:
+// load/store instructions move at most 32 bits ("the CPU does not support
+// 64-bit wide data transfers at the instruction level", §4.1), and only
+// cache-line refills/write-backs use the full 64-bit PLB width.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/sim"
+)
+
+// Params are the core's cost parameters, in CPU cycles.
+type Params struct {
+	Clk *sim.Clock
+
+	OpCycles     int // simple integer ALU op
+	MulCycles    int // multiply
+	DivCycles    int // divide
+	BranchCycles int // branch, not taken
+	TakenExtra   int // extra cycles for a taken branch
+	CallCycles   int // function call prologue
+	RetCycles    int // function return
+	LoadCycles   int // load instruction base cost (before memory)
+	StoreCycles  int // store instruction base cost
+
+	WBufDepth int // posted-write buffer depth (0 disables posting)
+
+	IRQEntryCycles int // interrupt entry (context save, vectoring)
+	IRQExitCycles  int // interrupt exit
+
+	// Data cache geometry; CacheSize 0 disables the D-cache.
+	CacheSize   int
+	CacheWays   int
+	CacheLine   int
+	FlushCycles int // per-line dispatch cost of dcbf/dccci style ops
+}
+
+// DefaultParams returns PowerPC-405-like cost parameters at the given clock.
+func DefaultParams(clk *sim.Clock) Params {
+	return Params{
+		Clk:            clk,
+		OpCycles:       1,
+		MulCycles:      4,
+		DivCycles:      35,
+		BranchCycles:   1,
+		TakenExtra:     2,
+		CallCycles:     4,
+		RetCycles:      4,
+		LoadCycles:     1,
+		StoreCycles:    1,
+		WBufDepth:      4,
+		IRQEntryCycles: 40,
+		IRQExitCycles:  40,
+		CacheSize:      16 << 10,
+		CacheWays:      2,
+		CacheLine:      32,
+		FlushCycles:    3,
+	}
+}
+
+// RegionAttr marks an address range cacheable (the PPC405 controls
+// cacheability per storage region; peripheral ranges stay guarded).
+type RegionAttr struct {
+	Base, Size uint32
+	Cacheable  bool
+}
+
+// Stats are the core's execution statistics.
+type Stats struct {
+	Ops, Branches uint64
+	Loads, Stores uint64
+	CacheHits     uint64
+	CacheMisses   uint64
+	Evictions     uint64
+	PostedStalls  uint64
+	IRQs          uint64
+}
+
+// CPU is one embedded processor core.
+type CPU struct {
+	k     *sim.Kernel
+	p     Params
+	bus   *bus.Bus
+	dc    *dcache
+	attr  []RegionAttr
+	guard []RegionAttr
+	wbuf  []sim.Time
+
+	stats Stats
+}
+
+// New returns a core attached to its data-side bus.
+func New(k *sim.Kernel, p Params, b *bus.Bus) *CPU {
+	c := &CPU{k: k, p: p, bus: b}
+	if p.CacheSize > 0 {
+		c.dc = newDCache(p.CacheSize, p.CacheWays, p.CacheLine)
+	}
+	return c
+}
+
+// Clock returns the CPU clock.
+func (c *CPU) Clock() *sim.Clock { return c.p.Clk }
+
+// Stats returns a copy of the execution statistics.
+func (c *CPU) Stats() Stats { return c.stats }
+
+// CacheEnabled reports whether the D-cache model is active.
+func (c *CPU) CacheEnabled() bool { return c.dc != nil }
+
+// MapCacheable marks [base, base+size) as cacheable.
+func (c *CPU) MapCacheable(base, size uint32) {
+	c.attr = append(c.attr, RegionAttr{Base: base, Size: size, Cacheable: true})
+}
+
+// MapGuarded marks [base, base+size) as guarded storage (device windows):
+// stores to guarded addresses bypass the write buffer and block until the
+// bus transaction completes, as on the PowerPC 405.
+func (c *CPU) MapGuarded(base, size uint32) {
+	c.guard = append(c.guard, RegionAttr{Base: base, Size: size})
+}
+
+func (c *CPU) guarded(addr uint32) bool {
+	for _, a := range c.guard {
+		if addr >= a.Base && addr-a.Base < a.Size {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *CPU) cacheable(addr uint32) bool {
+	if c.dc == nil {
+		return false
+	}
+	for _, a := range c.attr {
+		if addr >= a.Base && addr-a.Base < a.Size {
+			return a.Cacheable
+		}
+	}
+	return false
+}
+
+// tick advances time by n CPU cycles.
+func (c *CPU) tick(n int) {
+	if n > 0 {
+		c.k.Advance(c.p.Clk.Cycles(uint64(n)))
+	}
+}
+
+// Op executes n simple ALU operations.
+func (c *CPU) Op(n int) {
+	c.stats.Ops += uint64(n)
+	c.tick(n * c.p.OpCycles)
+}
+
+// Mul executes one multiply.
+func (c *CPU) Mul() {
+	c.stats.Ops++
+	c.tick(c.p.MulCycles)
+}
+
+// Div executes one divide.
+func (c *CPU) Div() {
+	c.stats.Ops++
+	c.tick(c.p.DivCycles)
+}
+
+// Branch executes a conditional branch.
+func (c *CPU) Branch(taken bool) {
+	c.stats.Branches++
+	n := c.p.BranchCycles
+	if taken {
+		n += c.p.TakenExtra
+	}
+	c.tick(n)
+}
+
+// Call accounts a function-call prologue.
+func (c *CPU) Call() { c.tick(c.p.CallCycles) }
+
+// Ret accounts a function return.
+func (c *CPU) Ret() { c.tick(c.p.RetCycles) }
+
+// load is the common load path. size must be 1, 2 or 4.
+func (c *CPU) load(addr uint32, size int) uint32 {
+	if size > 4 {
+		panic("cpu: load wider than 32 bits — the PPC405 ISA has no 64-bit loads")
+	}
+	c.stats.Loads++
+	c.tick(c.p.LoadCycles)
+	if c.cacheable(addr) {
+		c.dcAccess(addr, false)
+		v, err := c.bus.Peek(addr, size) // data is functionally in memory
+		if err != nil {
+			panic(fmt.Sprintf("cpu: load %#x: %v", addr, err))
+		}
+		return uint32(v)
+	}
+	v, err := c.bus.Read(addr, size)
+	if err != nil {
+		panic(fmt.Sprintf("cpu: load %#x: %v", addr, err))
+	}
+	return uint32(v)
+}
+
+// store is the common store path. size must be 1, 2 or 4.
+func (c *CPU) store(addr uint32, val uint32, size int) {
+	if size > 4 {
+		panic("cpu: store wider than 32 bits — the PPC405 ISA has no 64-bit stores")
+	}
+	c.stats.Stores++
+	c.tick(c.p.StoreCycles)
+	if c.cacheable(addr) {
+		c.dcAccess(addr, true)
+		if err := c.bus.Poke(addr, uint64(val), size); err != nil {
+			panic(fmt.Sprintf("cpu: store %#x: %v", addr, err))
+		}
+		return
+	}
+	if c.p.WBufDepth > 0 && !c.guarded(addr) {
+		c.postedWrite(addr, val, size)
+		return
+	}
+	if err := c.bus.Write(addr, uint64(val), size); err != nil {
+		panic(fmt.Sprintf("cpu: store %#x: %v", addr, err))
+	}
+}
+
+// postedWrite sends an uncached store through the write buffer: the
+// functional write and bus occupancy happen immediately, the CPU only stalls
+// when the buffer is full.
+func (c *CPU) postedWrite(addr uint32, val uint32, size int) {
+	done, err := c.bus.WritePosted(addr, uint64(val), size)
+	if err != nil {
+		panic(fmt.Sprintf("cpu: store %#x: %v", addr, err))
+	}
+	// Reap retired entries.
+	now := c.k.Now()
+	i := 0
+	for i < len(c.wbuf) && c.wbuf[i] <= now {
+		i++
+	}
+	c.wbuf = c.wbuf[i:]
+	if len(c.wbuf) >= c.p.WBufDepth {
+		c.stats.PostedStalls++
+		c.k.AdvanceTo(c.wbuf[0])
+		c.wbuf = c.wbuf[1:]
+	}
+	c.wbuf = append(c.wbuf, done)
+}
+
+// dcAccess runs the cache timing model for a cacheable access.
+func (c *CPU) dcAccess(addr uint32, write bool) {
+	hit, victim, dirty := c.dc.access(addr, write)
+	if hit {
+		c.stats.CacheHits++
+		return
+	}
+	c.stats.CacheMisses++
+	beats := c.p.CacheLine / c.bus.Width()
+	if dirty {
+		c.stats.Evictions++
+		done, err := c.bus.BurstPenalty(victim, beats, true)
+		if err == nil {
+			c.k.AdvanceTo(done)
+		}
+	}
+	lineAddr := addr &^ uint32(c.p.CacheLine-1)
+	done, err := c.bus.BurstPenalty(lineAddr, beats, false)
+	if err != nil {
+		panic(fmt.Sprintf("cpu: line fill %#x: %v", lineAddr, err))
+	}
+	c.k.AdvanceTo(done)
+}
+
+// Loads and stores of the three ISA sizes.
+
+// LW loads a 32-bit word.
+func (c *CPU) LW(addr uint32) uint32 { return c.load(addr, 4) }
+
+// LH loads a 16-bit halfword (zero-extended).
+func (c *CPU) LH(addr uint32) uint16 { return uint16(c.load(addr, 2)) }
+
+// LB loads a byte (zero-extended).
+func (c *CPU) LB(addr uint32) uint8 { return uint8(c.load(addr, 1)) }
+
+// SW stores a 32-bit word.
+func (c *CPU) SW(addr uint32, v uint32) { c.store(addr, v, 4) }
+
+// SH stores a 16-bit halfword.
+func (c *CPU) SH(addr uint32, v uint16) { c.store(addr, uint32(v), 2) }
+
+// SB stores a byte.
+func (c *CPU) SB(addr uint32, v uint8) { c.store(addr, uint32(v), 1) }
+
+// FlushRange writes back and invalidates every cache line intersecting
+// [addr, addr+size) — the dcbf loop a driver runs before DMA reads memory.
+func (c *CPU) FlushRange(addr uint32, size int) {
+	if c.dc == nil || size <= 0 {
+		return
+	}
+	line := uint32(c.p.CacheLine)
+	beats := c.p.CacheLine / c.bus.Width()
+	for a := addr &^ (line - 1); a < addr+uint32(size); a += line {
+		c.tick(c.p.FlushCycles)
+		if c.dc.flushLine(a) {
+			c.stats.Evictions++
+			if done, err := c.bus.BurstPenalty(a, beats, true); err == nil {
+				c.k.AdvanceTo(done)
+			}
+		}
+	}
+}
+
+// InvalidateRange discards cache lines intersecting the range without
+// writing them back — used on DMA target buffers before reading them.
+func (c *CPU) InvalidateRange(addr uint32, size int) {
+	if c.dc == nil || size <= 0 {
+		return
+	}
+	line := uint32(c.p.CacheLine)
+	for a := addr &^ (line - 1); a < addr+uint32(size); a += line {
+		c.tick(c.p.FlushCycles)
+		c.dc.invalidateLine(a)
+	}
+}
+
+// Sync drains the write buffer and waits for the bus to go idle (msync).
+func (c *CPU) Sync() {
+	if len(c.wbuf) > 0 {
+		last := c.wbuf[len(c.wbuf)-1]
+		if last > c.k.Now() {
+			c.k.AdvanceTo(last)
+		}
+		c.wbuf = c.wbuf[:0]
+	}
+	c.tick(1)
+}
+
+// WaitForIRQ idles the core until pending reports true (events continue to
+// fire), then pays the interrupt entry/exit overhead — the "CPU is free
+// during DMA transfers" path of §4.1.
+func (c *CPU) WaitForIRQ(pending func() bool) error {
+	if !pending() {
+		if err := c.k.RunUntil(pending); err != nil {
+			return fmt.Errorf("cpu: WaitForIRQ: %w", err)
+		}
+	}
+	c.stats.IRQs++
+	c.tick(c.p.IRQEntryCycles + c.p.IRQExitCycles)
+	return nil
+}
+
+// Spin models a polling loop: repeatedly evaluates cond every pollCycles
+// until it reports true.
+func (c *CPU) Spin(pollCycles int, cond func() bool) error {
+	for i := 0; ; i++ {
+		if cond() {
+			return nil
+		}
+		if i > 1<<22 {
+			return fmt.Errorf("cpu: Spin exceeded iteration budget")
+		}
+		c.tick(pollCycles)
+	}
+}

@@ -1,0 +1,142 @@
+package dock
+
+// The scatter-gather DMA engine of the PLB Dock. It runs as an event chain
+// on the simulation kernel: descriptor fetches and data bursts occupy the
+// PLB through the background master interface, so DMA contends with (but
+// does not block) the CPU — "since the CPU is free during DMA transfers, it
+// can be used for other purposes" (§4.1).
+
+// startDMA begins processing the descriptor chain at sgPtr.
+func (d *PLBDock) startDMA() {
+	if d.busy {
+		d.dmaErr = true
+		return
+	}
+	if d.core == nil {
+		d.dmaErr = true
+		d.finishDMA()
+		return
+	}
+	d.busy, d.done, d.dmaErr = true, false, false
+	d.dmaChains++
+	d.curDesc = d.sgPtr
+	d.fetchDescriptor()
+}
+
+// fetchDescriptor reads the 32-byte descriptor at curDesc with a burst.
+func (d *PLBDock) fetchDescriptor() {
+	if d.curDesc == 0 {
+		d.finishDMA()
+		return
+	}
+	data, done, err := d.plb.BurstRead(d.curDesc, descSize/8)
+	if err != nil {
+		d.dmaErr = true
+		d.finishDMA()
+		return
+	}
+	next := uint32(data[descNext/8] >> 32)
+	mem := uint32(data[descMem/8])
+	length := uint32(data[descLen/8] >> 32)
+	flags := uint32(data[descFlags/8])
+	d.k.ScheduleAt(done, func() {
+		if length%8 != 0 || length == 0 {
+			d.dmaErr = true
+			d.finishDMA()
+			return
+		}
+		d.memAddr, d.remain = mem, length
+		d.dir = int(flags & 1)
+		d.drainIdle = 0
+		d.curDesc = next
+		d.step()
+	})
+}
+
+// step transfers the next burst of the current descriptor.
+func (d *PLBDock) step() {
+	if d.remain == 0 {
+		d.fetchDescriptor()
+		return
+	}
+	beats := int(d.remain / 8)
+	if beats > maxBurstBeats {
+		beats = maxBurstBeats
+	}
+	switch d.dir {
+	case DirToDock:
+		data, done, err := d.plb.BurstRead(d.memAddr, beats)
+		if err != nil {
+			d.dmaErr = true
+			d.finishDMA()
+			return
+		}
+		throttle := 0
+		if cpw := d.core.CyclesPerWord(); cpw > 1 {
+			throttle = (cpw - 1) * beats
+		}
+		at := done + d.plb.Clock().Cycles(uint64(throttle))
+		d.k.ScheduleAt(at, func() {
+			for _, v := range data {
+				d.wordsIn++
+				d.core.Write(v, 8)
+				d.drainCore()
+			}
+			d.memAddr += uint32(8 * beats)
+			d.remain -= uint32(8 * beats)
+			d.step()
+		})
+	case DirToMem:
+		if d.out.Len() == 0 {
+			// Nothing produced yet: poll again shortly. A circuit that
+			// never produces output (e.g. a broken configuration) trips
+			// the idle limit and errors out instead of hanging.
+			d.drainIdle++
+			if d.drainIdle > 1<<16 {
+				d.dmaErr = true
+				d.finishDMA()
+				return
+			}
+			d.k.Schedule(d.plb.Clock().Cycles(8), d.step)
+			return
+		}
+		d.drainIdle = 0
+		if n := d.out.Len(); beats > n {
+			beats = n
+		}
+		data := make([]uint64, beats)
+		for i := range data {
+			v, _ := d.out.Pop()
+			data[i] = v
+		}
+		done, err := d.plb.BurstWrite(d.memAddr, data)
+		if err != nil {
+			d.dmaErr = true
+			d.finishDMA()
+			return
+		}
+		d.k.ScheduleAt(done, func() {
+			d.memAddr += uint32(8 * beats)
+			d.remain -= uint32(8 * beats)
+			d.dmaBytes += uint64(8 * beats)
+			d.step()
+		})
+		return
+	default:
+		d.dmaErr = true
+		d.finishDMA()
+		return
+	}
+	if d.dir == DirToDock {
+		d.dmaBytes += uint64(8 * beats)
+	}
+}
+
+// finishDMA completes the chain: status update and interrupt.
+func (d *PLBDock) finishDMA() {
+	d.busy = false
+	d.done = true
+	if d.irqEn && d.ic != nil {
+		d.ic.Raise(d.irq)
+	}
+}

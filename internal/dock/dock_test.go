@@ -1,0 +1,289 @@
+package dock
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/hw"
+	"repro/internal/intc"
+	"repro/internal/memctl"
+	"repro/internal/sim"
+)
+
+// echoCore is a trivial dynamic circuit: output = last input + 1, and every
+// write also queues input+1 on the stream output.
+type echoCore struct {
+	last   uint64
+	outq   []uint64
+	resets int
+	cpw    int
+}
+
+func (e *echoCore) Name() string { return "echo" }
+func (e *echoCore) Reset()       { e.last = 0; e.outq = nil; e.resets++ }
+func (e *echoCore) Write(v uint64, size int) {
+	e.last = v + 1
+	e.outq = append(e.outq, v+1)
+}
+func (e *echoCore) Read() uint64 { return e.last }
+func (e *echoCore) PopOut() (uint64, bool) {
+	if len(e.outq) == 0 {
+		return 0, false
+	}
+	v := e.outq[0]
+	e.outq = e.outq[1:]
+	return v, true
+}
+func (e *echoCore) CyclesPerWord() int {
+	if e.cpw == 0 {
+		return 1
+	}
+	return e.cpw
+}
+
+func TestOPBDockDataPath(t *testing.T) {
+	d := NewOPBDock(2, 1)
+	if v, _ := d.Read(RegData, 4); v != ^uint64(0) {
+		t.Fatal("unbound dock read should float high")
+	}
+	core := &echoCore{}
+	d.SetCore(core)
+	d.Write(RegData, 41, 4)
+	if v, _ := d.Read(RegData, 4); v != 42 {
+		t.Fatalf("read = %d, want 42", v)
+	}
+	if st, _ := d.Read(RegStatus, 4); st&StatBound == 0 {
+		t.Fatal("status bound not set")
+	}
+	d.Write(RegCtrl, CtrlCoreReset, 4)
+	if core.resets != 1 {
+		t.Fatal("core reset not propagated")
+	}
+	in, out := d.Stats()
+	if in != 1 || out != 1 {
+		t.Fatalf("stats = %d/%d", in, out)
+	}
+}
+
+func TestOPBDockBrokenStatus(t *testing.T) {
+	d := NewOPBDock(2, 1)
+	d.SetCore(hw.NewBrokenCore(1))
+	st, _ := d.Read(RegStatus, 4)
+	if st&StatBroken == 0 {
+		t.Fatal("broken core not reported in status")
+	}
+}
+
+// dmaRig wires a PLB with DDR, an interrupt controller and a PLB Dock.
+func dmaRig(t *testing.T) (*sim.Kernel, *bus.Bus, *memctl.Memory, *intc.Controller, *PLBDock) {
+	t.Helper()
+	k := sim.NewKernel()
+	clk := sim.NewClock("plb", 100_000_000)
+	plb := bus.New("plb", k, clk, 8, bus.Params{ArbCycles: 2, ReadExtra: 2, BeatCycles: 1})
+	ddr := memctl.New("ddr", 1<<20, 6, 2, 6)
+	if err := plb.Map(0, 1<<20, ddr); err != nil {
+		t.Fatal(err)
+	}
+	ic := intc.New()
+	ic.Write(intc.RegIER, 1<<0, 4)
+	d := NewPLBDock(k, plb, ic, 0, 3, 0)
+	if err := plb.Map(0x5000_0000, 1<<16, d); err != nil {
+		t.Fatal(err)
+	}
+	return k, plb, ddr, ic, d
+}
+
+// writeDesc writes a DMA descriptor into memory.
+func writeDesc(m *memctl.Memory, addr, next, mem, length, flags uint32) {
+	m.PokeBE(addr+descNext, uint64(next), 4)
+	m.PokeBE(addr+descMem, uint64(mem), 4)
+	m.PokeBE(addr+descLen, uint64(length), 4)
+	m.PokeBE(addr+descFlags, uint64(flags), 4)
+}
+
+func TestPLBDockCPUPath(t *testing.T) {
+	_, plb, _, _, d := dmaRig(t)
+	core := &echoCore{}
+	d.SetCore(core)
+	if err := plb.Write(0x5000_0000+RegData, 7, 8); err != nil {
+		t.Fatal(err)
+	}
+	v, err := plb.Read(0x5000_0000+RegData, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 8 {
+		t.Fatalf("echo = %d", v)
+	}
+	// The write also queued a word which drained into the FIFO.
+	if d.FIFO().Len() != 1 {
+		t.Fatalf("fifo len = %d", d.FIFO().Len())
+	}
+	if v, _ := d.Read(RegFIFOPop, 8); v != 8 {
+		t.Fatalf("fifo pop = %d", v)
+	}
+	// Underflow read returns 0.
+	if v, _ := d.Read(RegFIFOPop, 8); v != 0 {
+		t.Fatalf("underflow pop = %d", v)
+	}
+}
+
+func TestDMAFeedToDock(t *testing.T) {
+	k, _, ddr, ic, d := dmaRig(t)
+	core := &echoCore{}
+	d.SetCore(core)
+	// 64 words of source data at 0x1000.
+	for i := 0; i < 64; i++ {
+		ddr.PokeBE(uint32(0x1000+8*i), uint64(i), 8)
+	}
+	writeDesc(ddr, 0x8000, 0, 0x1000, 64*8, DirToDock)
+	d.Write(RegDMAPtr, 0x8000, 4)
+	d.Write(RegDMACtrl, DMAStart|DMAIrqEn, 4)
+	if st, _ := d.Read(RegDMAStat, 4); st&DMABusy == 0 {
+		t.Fatal("DMA not busy after start")
+	}
+	if err := k.RunUntil(func() bool { return ic.Pending() }); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := d.Read(RegDMAStat, 4)
+	if st&DMADone == 0 || st&DMAError != 0 {
+		t.Fatalf("status = %#x", st)
+	}
+	in, _, dmaBytes, chains := d.Stats()
+	if in != 64 || dmaBytes != 64*8 || chains != 1 {
+		t.Fatalf("stats: in=%d bytes=%d chains=%d", in, dmaBytes, chains)
+	}
+	// The echo core queued 64 outputs into the FIFO.
+	if d.FIFO().Len() != 64 {
+		t.Fatalf("fifo len = %d", d.FIFO().Len())
+	}
+}
+
+func TestDMADrainToMemory(t *testing.T) {
+	k, _, ddr, ic, d := dmaRig(t)
+	core := &echoCore{}
+	d.SetCore(core)
+	// Fill the FIFO via CPU writes.
+	for i := 0; i < 32; i++ {
+		d.Write(RegData, uint64(100+i), 8)
+	}
+	writeDesc(ddr, 0x8000, 0, 0x2000, 32*8, DirToMem)
+	d.Write(RegDMAPtr, 0x8000, 4)
+	d.Write(RegDMACtrl, DMAStart|DMAIrqEn, 4)
+	if err := k.RunUntil(func() bool { return ic.Pending() }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if v := ddr.PeekBE(uint32(0x2000+8*i), 8); v != uint64(101+i) {
+			t.Fatalf("drained word %d = %d, want %d", i, v, 101+i)
+		}
+	}
+	if d.FIFO().Len() != 0 {
+		t.Fatal("fifo not drained")
+	}
+}
+
+func TestDMAScatterGatherChain(t *testing.T) {
+	k, _, ddr, ic, d := dmaRig(t)
+	d.SetCore(&echoCore{})
+	for i := 0; i < 16; i++ {
+		ddr.PokeBE(uint32(0x1000+8*i), uint64(i), 8)
+	}
+	// Chain: feed 16 words, then drain 16 results to 0x3000.
+	writeDesc(ddr, 0x8000, 0x8020, 0x1000, 16*8, DirToDock)
+	writeDesc(ddr, 0x8020, 0, 0x3000, 16*8, DirToMem)
+	d.Write(RegDMAPtr, 0x8000, 4)
+	d.Write(RegDMACtrl, DMAStart|DMAIrqEn, 4)
+	if err := k.RunUntil(func() bool { return ic.Pending() }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if v := ddr.PeekBE(uint32(0x3000+8*i), 8); v != uint64(i+1) {
+			t.Fatalf("result %d = %d", i, v)
+		}
+	}
+	_, _, dmaBytes, _ := d.Stats()
+	if dmaBytes != 2*16*8 {
+		t.Fatalf("dma bytes = %d", dmaBytes)
+	}
+}
+
+func TestDMAErrorCases(t *testing.T) {
+	k, _, ddr, _, d := dmaRig(t)
+	// Start with no core bound.
+	d.Write(RegDMACtrl, DMAStart, 4)
+	if st, _ := d.Read(RegDMAStat, 4); st&DMAError == 0 {
+		t.Fatal("DMA with unbound core did not error")
+	}
+	d.Write(RegDMACtrl, DMAReset, 4)
+	d.SetCore(&echoCore{})
+	// Odd length.
+	writeDesc(ddr, 0x8000, 0, 0x1000, 12, DirToDock)
+	d.Write(RegDMAPtr, 0x8000, 4)
+	d.Write(RegDMACtrl, DMAStart, 4)
+	if err := k.RunUntil(func() bool {
+		st, _ := d.Read(RegDMAStat, 4)
+		return st&DMABusy == 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := d.Read(RegDMAStat, 4); st&DMAError == 0 {
+		t.Fatal("unaligned length did not error")
+	}
+}
+
+func TestDMADrainFromBrokenCoreTimesOut(t *testing.T) {
+	k, _, ddr, _, d := dmaRig(t)
+	d.SetCore(hw.NewBrokenCore(3))
+	writeDesc(ddr, 0x8000, 0, 0x2000, 8, DirToMem)
+	d.Write(RegDMAPtr, 0x8000, 4)
+	d.Write(RegDMACtrl, DMAStart, 4)
+	if err := k.RunUntil(func() bool {
+		st, _ := d.Read(RegDMAStat, 4)
+		return st&DMABusy == 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := d.Read(RegDMAStat, 4); st&DMAError == 0 {
+		t.Fatal("broken core drain did not error out")
+	}
+}
+
+func TestDMAThrottledByCore(t *testing.T) {
+	// A core needing 4 cycles/word must make the feed take longer than a
+	// core accepting one word per cycle.
+	run := func(cpw int) sim.Time {
+		k, _, ddr, ic, d := dmaRig(t)
+		d.SetCore(&echoCore{cpw: cpw})
+		for i := 0; i < 256; i++ {
+			ddr.PokeBE(uint32(0x1000+8*i), uint64(i), 8)
+		}
+		writeDesc(ddr, 0x8000, 0, 0x1000, 256*8, DirToDock)
+		d.Write(RegDMAPtr, 0x8000, 4)
+		d.Write(RegDMACtrl, DMAStart|DMAIrqEn, 4)
+		if err := k.RunUntil(func() bool { return ic.Pending() }); err != nil {
+			t.Fatal(err)
+		}
+		return k.Now()
+	}
+	fast := run(1)
+	slow := run(4)
+	if slow <= fast {
+		t.Errorf("throttled DMA (%v) not slower than unthrottled (%v)", slow, fast)
+	}
+}
+
+func TestStartWhileBusyErrors(t *testing.T) {
+	_, _, ddr, _, d := dmaRig(t)
+	d.SetCore(&echoCore{})
+	for i := 0; i < 1024; i++ {
+		ddr.PokeBE(uint32(0x1000+8*i), 1, 8)
+	}
+	writeDesc(ddr, 0x8000, 0, 0x1000, 1024*8, DirToDock)
+	d.Write(RegDMAPtr, 0x8000, 4)
+	d.Write(RegDMACtrl, DMAStart, 4)
+	d.Write(RegDMACtrl, DMAStart, 4) // second start while busy
+	if st, _ := d.Read(RegDMAStat, 4); st&DMAError == 0 {
+		t.Fatal("start-while-busy did not error")
+	}
+}

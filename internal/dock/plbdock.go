@@ -1,0 +1,214 @@
+package dock
+
+import (
+	"repro/internal/bus"
+	"repro/internal/fifo"
+	"repro/internal/hw"
+	"repro/internal/intc"
+	"repro/internal/sim"
+)
+
+// PLB Dock register offsets (in addition to the shared ones).
+const (
+	RegFIFOPop   = 0x0100 // read: pop one output-FIFO word
+	RegFIFOCount = 0x0104 // read: FIFO occupancy
+	RegDMAPtr    = 0x0200 // write: scatter-gather descriptor chain address
+	RegDMACtrl   = 0x0208 // control
+	RegDMAStat   = 0x020C // status
+)
+
+// DMA control bits.
+const (
+	DMAStart = 1 << 0 // start the descriptor chain at RegDMAPtr
+	DMAIrqEn = 1 << 1 // raise an interrupt when the chain completes
+	DMAReset = 1 << 3 // reset DMA engine and FIFO
+)
+
+// DMA status bits.
+const (
+	DMABusy  = 1 << 0
+	DMADone  = 1 << 1 // write 1 to clear
+	DMAError = 1 << 2
+)
+
+// Descriptor layout (32 bytes in memory, big-endian words):
+//
+//	+0x00 next descriptor address (0 terminates the chain)
+//	+0x04 memory address (source for feeds, destination for drains)
+//	+0x08 length in bytes (multiple of 8)
+//	+0x0C flags: bit0 = direction (0: memory→dock, 1: dock FIFO→memory)
+const (
+	descNext  = 0x00
+	descMem   = 0x04
+	descLen   = 0x08
+	descFlags = 0x0C
+	descSize  = 32
+
+	// DirToDock feeds the dynamic region from memory.
+	DirToDock = 0
+	// DirToMem drains the output FIFO to memory.
+	DirToMem = 1
+)
+
+// maxBurstBeats is the largest PLB burst the DMA engine issues (16 x 64 bit
+// = 128 bytes).
+const maxBurstBeats = 16
+
+// PLBDock is the 64-bit wrapper: a PLB master/slave with the three added
+// capabilities of §4.1 — DMA controller, output FIFO and interrupt
+// generator.
+type PLBDock struct {
+	k    *sim.Kernel
+	plb  *bus.Bus
+	core hw.Core
+	out  *fifo.F
+	ic   *intc.Controller
+	irq  int
+
+	ReadWaits  int
+	WriteWaits int
+
+	// DMA engine state.
+	sgPtr     uint32
+	irqEn     bool
+	busy      bool
+	done      bool
+	dmaErr    bool
+	curDesc   uint32
+	memAddr   uint32
+	remain    uint32
+	dir       int
+	drainIdle int // consecutive empty-FIFO polls while draining
+
+	wordsIn, wordsOut   uint64
+	dmaBytes, dmaChains uint64
+	underflows          uint64
+}
+
+// NewPLBDock returns the 64-bit dock. irqLine is the interrupt-controller
+// input the dock's interrupt generator drives.
+func NewPLBDock(k *sim.Kernel, plb *bus.Bus, ic *intc.Controller, irqLine, readWaits, writeWaits int) *PLBDock {
+	return &PLBDock{
+		k: k, plb: plb, ic: ic, irq: irqLine,
+		out:        fifo.New(fifo.DockDepth),
+		ReadWaits:  readWaits,
+		WriteWaits: writeWaits,
+	}
+}
+
+// Name implements bus.Slave.
+func (d *PLBDock) Name() string { return "plb-dock" }
+
+// SetCore binds the behavioural circuit.
+func (d *PLBDock) SetCore(c hw.Core) { d.core = c }
+
+// Core returns the bound circuit.
+func (d *PLBDock) Core() hw.Core { return d.core }
+
+// FIFO exposes the output FIFO (tests, statistics).
+func (d *PLBDock) FIFO() *fifo.F { return d.out }
+
+// Stats reports traffic counters.
+func (d *PLBDock) Stats() (in, out, dmaBytes, chains uint64) {
+	return d.wordsIn, d.wordsOut, d.dmaBytes, d.dmaChains
+}
+
+// Read implements bus.Slave.
+func (d *PLBDock) Read(addr uint32, size int) (uint64, int) {
+	switch addr {
+	case RegData:
+		if d.core == nil {
+			return ^uint64(0), d.ReadWaits
+		}
+		d.wordsOut++
+		v := d.core.Read()
+		if size == 4 {
+			v &= 0xFFFFFFFF
+		}
+		return v, d.ReadWaits
+	case RegStatus:
+		var s uint64
+		if d.core != nil {
+			s |= StatBound
+			if _, broken := d.core.(*hw.BrokenCore); broken {
+				s |= StatBroken
+			}
+		}
+		return s, 1
+	case RegFIFOPop:
+		v, ok := d.out.Pop()
+		if !ok {
+			d.underflows++
+			return 0, d.ReadWaits
+		}
+		if size == 4 {
+			v &= 0xFFFFFFFF
+		}
+		return v, d.ReadWaits
+	case RegFIFOCount:
+		return uint64(d.out.Len()), 1
+	case RegDMAStat:
+		var s uint64
+		if d.busy {
+			s |= DMABusy
+		}
+		if d.done {
+			s |= DMADone
+		}
+		if d.dmaErr {
+			s |= DMAError
+		}
+		return s, 1
+	default:
+		return 0, 1
+	}
+}
+
+// Write implements bus.Slave.
+func (d *PLBDock) Write(addr uint32, val uint64, size int) int {
+	switch addr {
+	case RegData:
+		if d.core != nil {
+			d.wordsIn++
+			d.core.Write(val, size)
+			d.drainCore()
+		}
+		return d.WriteWaits
+	case RegCtrl:
+		if val&CtrlCoreReset != 0 && d.core != nil {
+			d.core.Reset()
+		}
+		return 1
+	case RegDMAPtr:
+		d.sgPtr = uint32(val)
+		return 1
+	case RegDMACtrl:
+		if val&DMAReset != 0 {
+			d.busy, d.done, d.dmaErr = false, false, false
+			d.out.Reset()
+		}
+		d.irqEn = val&DMAIrqEn != 0
+		if val&DMAStart != 0 {
+			d.startDMA()
+		}
+		return 1
+	case RegDMAStat:
+		if val&DMADone != 0 {
+			d.done = false
+		}
+		return 1
+	default:
+		return 1
+	}
+}
+
+// drainCore moves any output the circuit produced into the output FIFO.
+func (d *PLBDock) drainCore() {
+	for {
+		v, ok := d.core.PopOut()
+		if !ok {
+			return
+		}
+		d.out.Push(v)
+	}
+}

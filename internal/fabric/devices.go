@@ -1,0 +1,63 @@
+package fabric
+
+// XC2VP7 returns the device used by the 32-bit system: a Virtex-II Pro with
+// one PowerPC 405 block, 4928 slices and 44 block RAMs (speed grade -6).
+//
+// Geometry: a 40x34 CLB site grid with one 16x8 hard block displacing 128
+// sites leaves 1232 CLBs = 4928 slices. Four BRAM columns of 11 blocks sit
+// near the device edges, as on the real part.
+func XC2VP7() *Device {
+	return &Device{
+		Name:        "XC2VP7",
+		Rows:        40,
+		Cols:        34,
+		BRAMColPos:  []int{1, 3, 30, 32},
+		BRAMsPerCol: 11,
+		HardBlocks: []HardBlock{
+			{Name: "PPC405_0", Row0: 24, Col0: 26, H: 16, W: 8},
+		},
+		SpeedGrade: 6,
+	}
+}
+
+// XC2VP30 returns the device used by the 64-bit system: a Virtex-II Pro with
+// two PowerPC 405 blocks, 13696 slices and 136 block RAMs (speed grade -7).
+//
+// Geometry: an 80x46 site grid with two 16x8 hard blocks (256 sites) leaves
+// 3424 CLBs = 13696 slices. Eight BRAM columns of 17 blocks each.
+func XC2VP30() *Device {
+	return &Device{
+		Name:        "XC2VP30",
+		Rows:        80,
+		Cols:        46,
+		BRAMColPos:  []int{2, 5, 14, 19, 26, 31, 40, 43},
+		BRAMsPerCol: 17,
+		HardBlocks: []HardBlock{
+			{Name: "PPC405_0", Row0: 8, Col0: 38, H: 16, W: 8},
+			{Name: "PPC405_1", Row0: 48, Col0: 38, H: 16, W: 8},
+		},
+		SpeedGrade: 7,
+	}
+}
+
+// DynamicRegion32 is the dynamic area of the 32-bit system: 28x11 = 308 CLBs
+// (25% of the device's slices) and 6 block RAMs, as reported in §3.1.
+func DynamicRegion32() Region {
+	return Region{Name: "dynamic32", Col0: 0, Row0: 7, W: 28, H: 11, BRAMBudget: 6}
+}
+
+// DynamicRegion64 is the dynamic area of the 64-bit system: 32x24 = 768 CLBs
+// = 3072 slices (22.4% of the device) and 22 block RAMs, as reported in §4.1.
+func DynamicRegion64() Region {
+	return Region{Name: "dynamic64", Col0: 5, Row0: 14, W: 32, H: 24, BRAMBudget: 22}
+}
+
+// DynamicRegion64B is the second dynamic area the paper's §4.1 suggests as
+// future work: "the use of the remaining free slices is made more difficult
+// by the presence of the second CPU core and alternative approaches (like
+// having two separate dynamic areas) may be necessary to put them to use".
+// It occupies the 8x24 CLB strip between the two PPC405 blocks on the right
+// side of the XC2VP30.
+func DynamicRegion64B() Region {
+	return Region{Name: "dynamic64b", Col0: 38, Row0: 24, W: 8, H: 24, BRAMBudget: 8}
+}

@@ -1,0 +1,44 @@
+package fabric
+
+import "fmt"
+
+// Resources is a fabric resource budget: slices, LUTs, flip-flops and block
+// RAMs. It is used both for the static designs' resource-usage tables
+// (Tables 1 and 6) and for fit-checking dynamic components against a region.
+type Resources struct {
+	Slices int
+	LUTs   int
+	FFs    int
+	BRAMs  int
+}
+
+// Add returns the element-wise sum.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{
+		Slices: r.Slices + o.Slices,
+		LUTs:   r.LUTs + o.LUTs,
+		FFs:    r.FFs + o.FFs,
+		BRAMs:  r.BRAMs + o.BRAMs,
+	}
+}
+
+// FitsRegion reports whether the budget fits the region's capacity.
+func (r Resources) FitsRegion(reg Region) bool {
+	return r.Slices <= reg.Slices() && r.LUTs <= reg.LUTs() &&
+		r.FFs <= reg.FFs() && r.BRAMs <= reg.BRAMBudget
+}
+
+// FitsDevice reports whether the budget fits the whole device.
+func (r Resources) FitsDevice(d *Device) bool {
+	return r.Slices <= d.SliceCount() && r.LUTs <= d.LUTCount() &&
+		r.FFs <= d.FFCount() && r.BRAMs <= d.BRAMCount()
+}
+
+// SlicePercent returns the slice usage as a percentage of the device.
+func (r Resources) SlicePercent(d *Device) float64 {
+	return 100 * float64(r.Slices) / float64(d.SliceCount())
+}
+
+func (r Resources) String() string {
+	return fmt.Sprintf("%d slices, %d LUTs, %d FFs, %d BRAMs", r.Slices, r.LUTs, r.FFs, r.BRAMs)
+}

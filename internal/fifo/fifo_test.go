@@ -1,0 +1,111 @@
+package fifo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOOrdering(t *testing.T) {
+	f := New(4)
+	for i := uint64(0); i < 4; i++ {
+		if !f.Push(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if !f.Full() {
+		t.Fatal("not full after capacity pushes")
+	}
+	if f.Push(99) {
+		t.Fatal("push on full FIFO succeeded")
+	}
+	if f.Overflows() != 1 {
+		t.Fatalf("overflows = %d", f.Overflows())
+	}
+	for i := uint64(0); i < 4; i++ {
+		v, ok := f.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: v=%d ok=%v", i, v, ok)
+		}
+	}
+	if _, ok := f.Pop(); ok {
+		t.Fatal("pop on empty FIFO succeeded")
+	}
+	if f.MaxDepth() != 4 {
+		t.Fatalf("max depth = %d", f.MaxDepth())
+	}
+}
+
+func TestDockDepthMatchesPaper(t *testing.T) {
+	// "The current output FIFO stores up to 2047 64-bit values." (§4.2)
+	if DockDepth != 2047 {
+		t.Fatalf("DockDepth = %d, want 2047", DockDepth)
+	}
+	f := New(DockDepth)
+	n := 0
+	for f.Push(uint64(n)) {
+		n++
+	}
+	if n != 2047 {
+		t.Fatalf("capacity = %d, want 2047", n)
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New(8)
+	f.Push(1)
+	f.Push(2)
+	f.Reset()
+	if !f.Empty() {
+		t.Fatal("not empty after reset")
+	}
+	f.Push(7)
+	if v, ok := f.Pop(); !ok || v != 7 {
+		t.Fatal("FIFO unusable after reset")
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0)
+}
+
+// Property: a FIFO behaves as a queue under any push/pop sequence that fits.
+func TestFIFOQueueProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		fi := New(16)
+		var model []uint64
+		next := uint64(0)
+		for _, op := range ops {
+			if op%2 == 0 {
+				if fi.Push(next) {
+					model = append(model, next)
+				} else if len(model) != 16 {
+					return false
+				}
+				next++
+			} else {
+				v, ok := fi.Pop()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if fi.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+// Package hw defines the behavioural contract of circuits configured into
+// the dynamic area, plus the BrokenCore that models a corrupted or unknown
+// configuration. The dock wrappers drive cores through this interface; the
+// hwcore package provides the task implementations.
+package hw
+
+// Core is the behaviour of the circuit currently configured in the dynamic
+// region, as seen through the dock's connection interface: a write channel
+// with a strobe, a read channel, and (on the 64-bit system) an output stream
+// that feeds the dock's FIFO.
+type Core interface {
+	// Name identifies the module (diagnostics).
+	Name() string
+	// Reset returns the circuit to its post-configuration state.
+	Reset()
+	// Write presents one data word on the write channel with the write
+	// strobe asserted. size is the transfer size in bytes (4 or 8).
+	Write(v uint64, size int)
+	// Read samples the read channel (the module's output register).
+	Read() uint64
+	// PopOut removes one word from the module's output stream for the
+	// FIFO path; ok is false when no output is pending.
+	PopOut() (v uint64, ok bool)
+	// CyclesPerWord is the minimum number of bus-clock cycles the module
+	// needs between consecutive writes (pipeline throughput limit). The
+	// dock throttles DMA bursts accordingly.
+	CyclesPerWord() int
+}
+
+// BrokenCore is what the dock binds when the region's configuration hash
+// matches no known module — the observable result of loading a differential
+// configuration onto the wrong prior state (§2.2) or of a corrupted stream.
+// Its outputs are deterministic garbage (an LFSR), never valid results.
+type BrokenCore struct {
+	state uint64
+}
+
+// NewBrokenCore returns a broken core seeded from the bogus region hash.
+func NewBrokenCore(seed uint64) *BrokenCore {
+	if seed == 0 {
+		seed = 0xBAD_C0DE
+	}
+	return &BrokenCore{state: seed}
+}
+
+// Name implements Core.
+func (b *BrokenCore) Name() string { return "BROKEN" }
+
+// Reset implements Core. The garbage stream is deliberately not reset so
+// that repeated reads keep disagreeing with any expected sequence.
+func (b *BrokenCore) Reset() {}
+
+// Write implements Core.
+func (b *BrokenCore) Write(v uint64, size int) { b.state ^= v }
+
+// Read implements Core: deterministic garbage.
+func (b *BrokenCore) Read() uint64 {
+	b.state = b.state*6364136223846793005 + 1442695040888963407
+	return b.state
+}
+
+// PopOut implements Core: broken cores never produce stream output, so DMA
+// interleaved transfers hang on them — detectable by timeouts.
+func (b *BrokenCore) PopOut() (uint64, bool) { return 0, false }
+
+// CyclesPerWord implements Core.
+func (b *BrokenCore) CyclesPerWord() int { return 1 }

@@ -1,0 +1,50 @@
+package hw
+
+import "testing"
+
+func TestBrokenCoreIsDeterministicGarbage(t *testing.T) {
+	a := NewBrokenCore(42)
+	b := NewBrokenCore(42)
+	for i := 0; i < 16; i++ {
+		if a.Read() != b.Read() {
+			t.Fatal("broken core output not deterministic for equal seeds")
+		}
+	}
+	c := NewBrokenCore(43)
+	same := true
+	a2 := NewBrokenCore(42)
+	for i := 0; i < 16; i++ {
+		if a2.Read() != c.Read() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical garbage")
+	}
+}
+
+func TestBrokenCoreNeverStreams(t *testing.T) {
+	b := NewBrokenCore(0) // zero seed gets a fallback
+	b.Write(123, 4)
+	if _, ok := b.PopOut(); ok {
+		t.Fatal("broken core produced stream output")
+	}
+	if b.Name() != "BROKEN" {
+		t.Fatal("name")
+	}
+	if b.CyclesPerWord() != 1 {
+		t.Fatal("cycles per word")
+	}
+	b.Reset() // must not panic or clear the garbage stream
+}
+
+func TestBrokenCoreReadsVary(t *testing.T) {
+	b := NewBrokenCore(7)
+	seen := map[uint64]bool{}
+	for i := 0; i < 32; i++ {
+		seen[b.Read()] = true
+	}
+	if len(seen) < 30 {
+		t.Fatalf("garbage stream too repetitive: %d distinct of 32", len(seen))
+	}
+}

@@ -1,0 +1,134 @@
+package hwcore
+
+// Jenkins is the hardware implementation of the lookup2 hash function of
+// the paper's reference [8] ("accelerating a public domain implementation
+// of a hashing function that returns a 32-bit value for a variable-length
+// key", §3.2). The whole hashing function is implemented in hardware; the
+// CPU only streams the key.
+//
+// Dock protocol (32-bit words):
+//
+//	word 0: key length in bytes
+//	word 1: initval
+//	then floor(len/12) full rounds of three little-endian-composed words
+//	(a, b, c), followed by one tail round of three words: the remaining
+//	bytes composed little-endian with zero padding, where the c word holds
+//	bytes 8..10 in its low 24 bits (the hardware shifts it up one byte and
+//	adds the length, as lookup2 does).
+//
+//	read 0: the 32-bit hash.
+type Jenkins struct {
+	state    int // 0: len, 1: initval, 2: rounds
+	length   uint32
+	rounds   int // full rounds remaining
+	a, b, c  uint32
+	roundBuf [3]uint32
+	roundN   int
+	done     bool
+}
+
+// NewJenkins returns a reset hash core.
+func NewJenkins() *Jenkins {
+	j := &Jenkins{}
+	j.Reset()
+	return j
+}
+
+// Name implements hw.Core.
+func (j *Jenkins) Name() string { return "jenkins" }
+
+// Reset implements hw.Core.
+func (j *Jenkins) Reset() { *j = Jenkins{} }
+
+// CyclesPerWord implements hw.Core: the sequential mix network needs about
+// 12 bus cycles per 12-byte round, i.e. 8 per 64-bit beat.
+func (j *Jenkins) CyclesPerWord() int { return 8 }
+
+// Write implements hw.Core.
+func (j *Jenkins) Write(v uint64, size int) {
+	if size == 8 {
+		j.writeWord(uint32(v >> 32))
+		j.writeWord(uint32(v))
+		return
+	}
+	j.writeWord(uint32(v))
+}
+
+func (j *Jenkins) writeWord(w uint32) {
+	switch j.state {
+	case 0:
+		j.length = w
+		j.rounds = int(w / 12)
+		j.state = 1
+	case 1:
+		j.a, j.b = 0x9e3779b9, 0x9e3779b9
+		j.c = w
+		j.state = 2
+	case 2:
+		if j.done {
+			return
+		}
+		j.roundBuf[j.roundN] = w
+		j.roundN++
+		if j.roundN == 3 {
+			j.roundN = 0
+			j.round()
+		}
+	}
+}
+
+func (j *Jenkins) round() {
+	if j.rounds > 0 {
+		j.rounds--
+		j.a += j.roundBuf[0]
+		j.b += j.roundBuf[1]
+		j.c += j.roundBuf[2]
+		j.a, j.b, j.c = mix(j.a, j.b, j.c)
+		return
+	}
+	// Tail round: c receives the length in its low byte and the tail bytes
+	// shifted up by one byte.
+	j.a += j.roundBuf[0]
+	j.b += j.roundBuf[1]
+	j.c += j.length + j.roundBuf[2]<<8
+	j.a, j.b, j.c = mix(j.a, j.b, j.c)
+	j.done = true
+}
+
+// mix is the lookup2 mixing network (combinational cascade in hardware).
+func mix(a, b, c uint32) (uint32, uint32, uint32) {
+	a -= b
+	a -= c
+	a ^= c >> 13
+	b -= c
+	b -= a
+	b ^= a << 8
+	c -= a
+	c -= b
+	c ^= b >> 13
+	a -= b
+	a -= c
+	a ^= c >> 12
+	b -= c
+	b -= a
+	b ^= a << 16
+	c -= a
+	c -= b
+	c ^= b >> 5
+	a -= b
+	a -= c
+	a ^= c >> 3
+	b -= c
+	b -= a
+	b ^= a << 10
+	c -= a
+	c -= b
+	c ^= b >> 15
+	return a, b, c
+}
+
+// Read implements hw.Core: the hash value.
+func (j *Jenkins) Read() uint64 { return uint64(j.c) }
+
+// PopOut implements hw.Core.
+func (j *Jenkins) PopOut() (uint64, bool) { return 0, false }

@@ -1,0 +1,187 @@
+package hwcore
+
+// PatternMatch is the bilevel pattern matcher of §3.2: a pipeline of eight
+// stages, each comparing one row of an 8x8 pattern against the sliding
+// window; the stage results are summed into a per-position match count.
+//
+// Dock protocol (32-bit words; 64-bit writes carry two words, high first):
+//
+//	word 0: pattern rows 0..3 (row 0 in the most significant byte)
+//	word 1: pattern rows 4..7
+//	word 2: wordsPerRow(12) | bands(12) in the low 24 bits
+//	then, for each band b (window rows [b, b+8)) and each 32-pixel chunk:
+//	eight words, the chunk's bits of band rows 0..7.
+//
+// The pipeline produces one match count (0..64) per window position, in
+// row-major order, packed four 8-bit counts per result word (most
+// significant byte first). Each band yields ceil((W-7)/4) result words,
+// zero-padded at the end; the CPU reads them back after streaming the band.
+type PatternMatch struct {
+	state   int // 0,1,2 = config words; 3 = streaming
+	pattern [8]byte
+	wpr     int
+	bands   int
+
+	band  int
+	chunk int
+	row   int
+	rows  [8][]uint32
+
+	counts  []byte   // counts of the current band, in position order
+	results []uint32 // packed result words ready for read-back
+	readPos int
+	done    bool
+}
+
+// NewPatternMatch returns a freshly configured (reset) pattern matcher.
+func NewPatternMatch() *PatternMatch {
+	p := &PatternMatch{}
+	p.Reset()
+	return p
+}
+
+// Name implements hw.Core.
+func (p *PatternMatch) Name() string { return "patternmatch" }
+
+// Reset implements hw.Core.
+func (p *PatternMatch) Reset() { *p = PatternMatch{} }
+
+// CyclesPerWord implements hw.Core: the pipeline absorbs one word per cycle.
+func (p *PatternMatch) CyclesPerWord() int { return 1 }
+
+// ResultWordsPerBand returns how many packed result words each band
+// produces for an image of the given width in pixels.
+func ResultWordsPerBand(w int) int { return (w - 7 + 3) / 4 }
+
+// Write implements hw.Core.
+func (p *PatternMatch) Write(v uint64, size int) {
+	if size == 8 {
+		p.writeWord(uint32(v >> 32))
+		p.writeWord(uint32(v))
+		return
+	}
+	p.writeWord(uint32(v))
+}
+
+func (p *PatternMatch) writeWord(w uint32) {
+	switch p.state {
+	case 0:
+		p.pattern[0], p.pattern[1], p.pattern[2], p.pattern[3] = byte(w>>24), byte(w>>16), byte(w>>8), byte(w)
+		p.state = 1
+	case 1:
+		p.pattern[4], p.pattern[5], p.pattern[6], p.pattern[7] = byte(w>>24), byte(w>>16), byte(w>>8), byte(w)
+		p.state = 2
+	case 2:
+		p.wpr = int(w >> 12 & 0xFFF)
+		p.bands = int(w & 0xFFF)
+		p.state = 3
+		p.startBand()
+	case 3:
+		if p.done {
+			return // words after the last band are ignored
+		}
+		p.rows[p.row] = append(p.rows[p.row], w)
+		p.row++
+		if p.row == 8 {
+			p.row = 0
+			p.evalChunk()
+			p.chunk++
+			if p.chunk == p.wpr {
+				p.flushBand()
+				p.band++
+				if p.band == p.bands {
+					p.done = true
+					return
+				}
+				p.startBand()
+			}
+		}
+	}
+}
+
+func (p *PatternMatch) startBand() {
+	p.chunk = 0
+	p.row = 0
+	p.counts = p.counts[:0]
+	for j := range p.rows {
+		p.rows[j] = p.rows[j][:0]
+	}
+}
+
+// evalChunk scores every window position that became fully available with
+// the chunk just completed.
+func (p *PatternMatch) evalChunk() {
+	c := p.chunk
+	lo := 32*c - 7
+	if lo < 0 {
+		lo = 0
+	}
+	hi := 32*c + 24 // inclusive; window [x, x+8) needs bits through 32c+31
+	maxX := 32*p.wpr - 8
+	if hi > maxX {
+		hi = maxX
+	}
+	for x := lo; x <= hi; x++ {
+		count := 0
+		for j := 0; j < 8; j++ {
+			bits := p.extract8(j, x)
+			count += popcount8(^(bits ^ p.pattern[j]))
+		}
+		p.counts = append(p.counts, byte(count))
+	}
+}
+
+// flushBand packs the band's counts into result words.
+func (p *PatternMatch) flushBand() {
+	for i := 0; i < len(p.counts); i += 4 {
+		var w uint32
+		for j := 0; j < 4; j++ {
+			w <<= 8
+			if i+j < len(p.counts) {
+				w |= uint32(p.counts[i+j])
+			}
+		}
+		p.results = append(p.results, w)
+	}
+}
+
+// extract8 returns the 8 pixels of band row j starting at x.
+func (p *PatternMatch) extract8(j, x int) byte {
+	wi, off := x/32, uint(x%32)
+	w := p.rows[j][wi]
+	if off == 0 {
+		return byte(w >> 24)
+	}
+	var next uint32
+	if wi+1 < len(p.rows[j]) {
+		next = p.rows[j][wi+1]
+	}
+	v := w<<off | next>>(32-off)
+	return byte(v >> 24)
+}
+
+func popcount8(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+// Read implements hw.Core: the next packed result word.
+func (p *PatternMatch) Read() uint64 {
+	if p.readPos >= len(p.results) {
+		return 0
+	}
+	v := p.results[p.readPos]
+	p.readPos++
+	return uint64(v)
+}
+
+// PopOut implements hw.Core: the matcher's results are read back through
+// the data register (the paper drives this task with CPU-controlled
+// transfers on both systems), so nothing feeds the FIFO path.
+func (p *PatternMatch) PopOut() (uint64, bool) { return 0, false }
+
+// CountsAvailable reports how many packed result words are pending.
+func (p *PatternMatch) CountsAvailable() int { return len(p.results) - p.readPos }

@@ -1,0 +1,113 @@
+package hwcore
+
+import (
+	"fmt"
+
+	"repro/internal/bitlinker"
+	"repro/internal/busmacro"
+	"repro/internal/fabric"
+	"repro/internal/hw"
+)
+
+// Spec describes one dynamic module: its behavioural factory and the
+// synthesis result (resource usage) used for fit checking and the resource
+// tables.
+type Spec struct {
+	Name    string
+	Version string
+	// Res is the synthesis result of the module's datapath.
+	Res fabric.Resources
+	// New creates the behavioural model.
+	New func() hw.Core
+}
+
+// Specs returns the module library. Resource figures are sized after
+// EDK-era implementations; the SHA-1 core deliberately exceeds the 32-bit
+// system's 308-CLB dynamic area, as reported in §4.2.
+func Specs() []Spec {
+	return []Spec{
+		{Name: "passthrough", Version: "1.0",
+			Res: fabric.Resources{Slices: 40, LUTs: 66, FFs: 70},
+			New: func() hw.Core { return NewPassthrough() }},
+		{Name: "patternmatch", Version: "1.2",
+			Res: fabric.Resources{Slices: 460, LUTs: 710, FFs: 640, BRAMs: 2},
+			New: func() hw.Core { return NewPatternMatch() }},
+		{Name: "jenkins", Version: "1.1",
+			Res: fabric.Resources{Slices: 360, LUTs: 650, FFs: 210},
+			New: func() hw.Core { return NewJenkins() }},
+		{Name: "sha1", Version: "1.0",
+			Res: fabric.Resources{Slices: 1390, LUTs: 2410, FFs: 1120},
+			New: func() hw.Core { return NewSHA1() }},
+		{Name: "brightness", Version: "1.0",
+			Res: fabric.Resources{Slices: 90, LUTs: 150, FFs: 120},
+			New: func() hw.Core { return NewBrightness() }},
+		{Name: "blend", Version: "1.0",
+			Res: fabric.Resources{Slices: 120, LUTs: 200, FFs: 150},
+			New: func() hw.Core { return NewBlend() }},
+		{Name: "fade", Version: "1.1",
+			Res: fabric.Resources{Slices: 260, LUTs: 430, FFs: 280},
+			New: func() hw.Core { return NewFade() }},
+	}
+}
+
+// SpecByName finds a module spec.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("hwcore: unknown module %q", name)
+}
+
+// BuildComponent "implements" the module for a concrete region and bus
+// macro: it chooses a footprint (full region height, docked at the edge),
+// checks the fit, and produces the relocatable component configuration the
+// assembly tool consumes. An error is returned when the module does not fit
+// the region — the 32-bit system's answer for SHA-1.
+func BuildComponent(s Spec, dev *fabric.Device, region fabric.Region, macro *busmacro.Macro) (*bitlinker.Component, error) {
+	h := region.H
+	clbs := (s.Res.Slices + 3) / 4
+	w := (clbs + h - 1) / h
+	// The footprint must host the LUT/FF counts too.
+	for w <= region.W {
+		if s.Res.LUTs <= 8*w*h && s.Res.FFs <= 8*w*h {
+			break
+		}
+		w++
+	}
+	if w > region.W {
+		return nil, fmt.Errorf("hwcore: module %s (%v) does not fit region %s (%d CLBs)",
+			s.Name, s.Res, region.Name, region.CLBs())
+	}
+	if s.Res.BRAMs > region.BRAMBudget {
+		return nil, fmt.Errorf("hwcore: module %s needs %d BRAMs, region %s reserves %d",
+			s.Name, s.Res.BRAMs, region.Name, region.BRAMBudget)
+	}
+	if macro.RowsNeeded() > h {
+		return nil, fmt.Errorf("hwcore: macro %s taller than region %s", macro.Name, region.Name)
+	}
+	version := s.Version + "+" + dev.Name + "/" + region.Name
+	return &bitlinker.Component{
+		Name:      s.Name,
+		Version:   version,
+		W:         w,
+		H:         h,
+		Resources: s.Res,
+		Macro:     macro,
+		PortRow0:  macro.Row0,
+		CLBFrames: bitlinker.SynthesizeFrames(s.Name, version, w, h),
+		BRAMSeed:  bramSeed(s.Name, version),
+	}, nil
+}
+
+func bramSeed(name, version string) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, s := range []string{name, "#", version} {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	return h
+}

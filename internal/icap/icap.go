@@ -1,0 +1,112 @@
+// Package icap models the OPB HWICAP: the configuration memory controller
+// that lets the embedded CPU change the FPGA's configuration from inside,
+// through the Internal Configuration Access Port (§3.1). Software writes
+// stream words into the write FIFO; an internal engine feeds them to the
+// configuration logic at one byte per ICAP clock.
+package icap
+
+import (
+	"repro/internal/bitstream"
+	"repro/internal/sim"
+)
+
+// Register offsets.
+const (
+	RegWriteFIFO = 0x00 // write: one stream word
+	RegStatus    = 0x04 // read: status bits
+	RegControl   = 0x08 // write: control bits
+)
+
+// Status bits.
+const (
+	StatDone  = 1 << 0 // last configuration sequence completed
+	StatError = 1 << 1 // configuration error (sticky)
+	StatBusy  = 1 << 2 // ICAP engine draining
+)
+
+// Control bits.
+const (
+	CtrlReset = 1 << 0 // reset the configuration logic interface
+)
+
+// HWICAP is the OPB slave wrapping the ICAP.
+type HWICAP struct {
+	k      *sim.Kernel
+	clk    *sim.Clock // ICAP clock (the OPB clock in both systems)
+	loader *bitstream.Loader
+
+	// bufWords is the internal BRAM buffer depth; the engine drains it at
+	// bytesPerCycle bytes per ICAP cycle.
+	bufWords int
+
+	busyUntil sim.Time
+	words     uint64
+	stalls    uint64
+}
+
+// New returns a HWICAP bound to the device's configuration loader.
+func New(k *sim.Kernel, clk *sim.Clock, loader *bitstream.Loader) *HWICAP {
+	return &HWICAP{k: k, clk: clk, loader: loader, bufWords: 512}
+}
+
+// Name implements bus.Slave.
+func (h *HWICAP) Name() string { return "opb-hwicap" }
+
+// Loader exposes the configuration logic (for binding callbacks).
+func (h *HWICAP) Loader() *bitstream.Loader { return h.loader }
+
+// WordsWritten reports how many stream words software pushed.
+func (h *HWICAP) WordsWritten() uint64 { return h.words }
+
+// Read implements bus.Slave.
+func (h *HWICAP) Read(addr uint32, size int) (uint64, int) {
+	switch addr {
+	case RegStatus:
+		var s uint64
+		if h.loader.Done() {
+			s |= StatDone
+		}
+		if h.loader.Err() != nil {
+			s |= StatError
+		}
+		if h.k.Now() < h.busyUntil {
+			s |= StatBusy
+		}
+		return s, 1
+	default:
+		return 0, 1
+	}
+}
+
+// Write implements bus.Slave.
+func (h *HWICAP) Write(addr uint32, val uint64, size int) int {
+	switch addr {
+	case RegWriteFIFO:
+		h.words++
+		// The engine needs 4 ICAP cycles per word (byte-wide port). If the
+		// write FIFO backlog exceeds the buffer, the OPB side stalls.
+		drain := h.clk.Cycles(4)
+		now := h.k.Now()
+		if h.busyUntil < now {
+			h.busyUntil = now
+		}
+		h.busyUntil += drain
+		waits := 1
+		if backlog := h.busyUntil - now; backlog > sim.Time(h.bufWords)*drain {
+			extra := int(h.clk.CyclesIn(backlog - sim.Time(h.bufWords)*drain))
+			waits += extra
+			h.stalls++
+		}
+		// The configuration logic consumes the word; errors are reported
+		// via the status register, as on hardware.
+		_ = h.loader.WriteWord(uint32(val))
+		return waits
+	case RegControl:
+		if val&CtrlReset != 0 {
+			h.loader.Reset()
+		}
+		return 1
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,90 @@
+package icap
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+func buildStream(t *testing.T, dev *fabric.Device) *bitstream.Stream {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	frame := make([]uint32, dev.FrameLen())
+	for i := range frame {
+		frame[i] = rng.Uint32()
+	}
+	s, err := bitstream.Build(dev, []bitstream.FrameRun{
+		{Start: fabric.FAR{Block: fabric.BlockCLB, Major: 2, Minor: 0}, Frames: [][]uint32{frame}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigureThroughHWICAP(t *testing.T) {
+	dev := fabric.XC2VP7()
+	cm := fabric.NewConfigMemory(dev)
+	loader := bitstream.NewLoader(cm)
+	k := sim.NewKernel()
+	clk := sim.NewClock("opb", 50_000_000)
+	h := New(k, clk, loader)
+
+	s := buildStream(t, dev)
+	for _, w := range s.Words {
+		h.Write(RegWriteFIFO, uint64(w), 4)
+	}
+	st, _ := h.Read(RegStatus, 4)
+	if st&StatDone == 0 {
+		t.Fatal("status done not set after full stream")
+	}
+	if st&StatError != 0 {
+		t.Fatal("status error set for valid stream")
+	}
+	if h.WordsWritten() != uint64(len(s.Words)) {
+		t.Fatalf("words = %d", h.WordsWritten())
+	}
+}
+
+func TestErrorSurfacesInStatus(t *testing.T) {
+	dev := fabric.XC2VP7()
+	loader := bitstream.NewLoader(fabric.NewConfigMemory(dev))
+	k := sim.NewKernel()
+	h := New(k, sim.NewClock("opb", 50_000_000), loader)
+
+	s := buildStream(t, dev)
+	// Corrupt a payload word to trip the CRC.
+	s.Words[len(s.Words)/2] ^= 1
+	for _, w := range s.Words {
+		h.Write(RegWriteFIFO, uint64(w), 4)
+	}
+	st, _ := h.Read(RegStatus, 4)
+	if st&StatError == 0 {
+		t.Fatal("status error not set after corrupt stream")
+	}
+	// Control reset clears the error.
+	h.Write(RegControl, CtrlReset, 4)
+	st, _ = h.Read(RegStatus, 4)
+	if st&StatError != 0 {
+		t.Fatal("error not cleared by reset")
+	}
+}
+
+func TestBusyTracksDrain(t *testing.T) {
+	dev := fabric.XC2VP7()
+	loader := bitstream.NewLoader(fabric.NewConfigMemory(dev))
+	k := sim.NewKernel()
+	clk := sim.NewClock("opb", 50_000_000)
+	h := New(k, clk, loader)
+	h.Write(RegWriteFIFO, uint64(bitstream.DummyWord), 4)
+	if st, _ := h.Read(RegStatus, 4); st&StatBusy == 0 {
+		t.Fatal("not busy right after a word")
+	}
+	k.Advance(clk.Cycles(16))
+	if st, _ := h.Read(RegStatus, 4); st&StatBusy != 0 {
+		t.Fatal("still busy after drain time")
+	}
+}

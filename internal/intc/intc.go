@@ -1,0 +1,62 @@
+// Package intc models the OPB interrupt controller added to the 64-bit
+// system so the CPU need not poll the PLB Dock during DMA transfers (§4.1).
+package intc
+
+// Register offsets.
+const (
+	RegISR = 0x00 // interrupt status (read)
+	RegIER = 0x04 // interrupt enable (read/write)
+	RegIAR = 0x08 // interrupt acknowledge (write 1 to clear)
+)
+
+// Controller is a simple 32-line interrupt controller.
+type Controller struct {
+	pending uint32
+	enabled uint32
+	raised  uint64
+}
+
+// New returns an interrupt controller with all lines disabled.
+func New() *Controller { return &Controller{} }
+
+// Name implements bus.Slave.
+func (c *Controller) Name() string { return "opb-intc" }
+
+// Raise asserts interrupt line n (device side).
+func (c *Controller) Raise(line int) {
+	c.pending |= 1 << uint(line)
+	c.raised++
+}
+
+// Pending reports whether any enabled interrupt is asserted — the CPU's
+// external-interrupt input.
+func (c *Controller) Pending() bool { return c.pending&c.enabled != 0 }
+
+// PendingMask returns the masked pending lines.
+func (c *Controller) PendingMask() uint32 { return c.pending & c.enabled }
+
+// Raised reports how many interrupts devices have asserted in total.
+func (c *Controller) Raised() uint64 { return c.raised }
+
+// Read implements bus.Slave.
+func (c *Controller) Read(addr uint32, size int) (uint64, int) {
+	switch addr {
+	case RegISR:
+		return uint64(c.pending), 1
+	case RegIER:
+		return uint64(c.enabled), 1
+	default:
+		return 0, 1
+	}
+}
+
+// Write implements bus.Slave.
+func (c *Controller) Write(addr uint32, val uint64, size int) int {
+	switch addr {
+	case RegIER:
+		c.enabled = uint32(val)
+	case RegIAR:
+		c.pending &^= uint32(val)
+	}
+	return 1
+}

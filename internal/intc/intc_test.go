@@ -1,0 +1,46 @@
+package intc
+
+import "testing"
+
+func TestMaskingAndAck(t *testing.T) {
+	c := New()
+	c.Raise(3)
+	if c.Pending() {
+		t.Fatal("disabled interrupt reported pending")
+	}
+	c.Write(RegIER, 1<<3, 4)
+	if !c.Pending() {
+		t.Fatal("enabled interrupt not pending")
+	}
+	if m := c.PendingMask(); m != 1<<3 {
+		t.Fatalf("mask = %#x", m)
+	}
+	v, _ := c.Read(RegISR, 4)
+	if v != 1<<3 {
+		t.Fatalf("ISR = %#x", v)
+	}
+	c.Write(RegIAR, 1<<3, 4)
+	if c.Pending() {
+		t.Fatal("pending after acknowledge")
+	}
+	if c.Raised() != 1 {
+		t.Fatalf("raised = %d", c.Raised())
+	}
+}
+
+func TestMultipleLines(t *testing.T) {
+	c := New()
+	c.Write(RegIER, 0xFF, 4)
+	c.Raise(0)
+	c.Raise(5)
+	if m := c.PendingMask(); m != 0b100001 {
+		t.Fatalf("mask = %#b", m)
+	}
+	c.Write(RegIAR, 1, 4)
+	if m := c.PendingMask(); m != 0b100000 {
+		t.Fatalf("mask after partial ack = %#b", m)
+	}
+	if v, _ := c.Read(RegIER, 4); v != 0xFF {
+		t.Fatalf("IER readback = %#x", v)
+	}
+}

@@ -1,0 +1,171 @@
+// Package memctl provides the memory controllers of the two systems: the
+// on-chip BRAM controller (PLB), the external SRAM controller (OPB, 32-bit
+// system) and the DDR SDRAM controller (PLB, 64-bit system). Backing storage
+// is big-endian, matching the PowerPC 405, and paged so that large memories
+// cost only what is touched.
+package memctl
+
+import "fmt"
+
+const pageBits = 16 // 64 KB pages
+const pageSize = 1 << pageBits
+
+// Memory is a byte-addressable big-endian backing store with configurable
+// wait states, shared by all controllers.
+type Memory struct {
+	name       string
+	size       int
+	pages      map[uint32][]byte
+	readWaits  int
+	writeWaits int
+	// burstFirstWaits is the first-access latency of a burst; subsequent
+	// beats stream at bus rate. Negative disables burst support.
+	burstFirstWaits int
+
+	reads, writes uint64
+}
+
+// New returns a memory of the given size with the given wait states.
+func New(name string, size int, readWaits, writeWaits, burstFirstWaits int) *Memory {
+	return &Memory{
+		name:            name,
+		size:            size,
+		pages:           make(map[uint32][]byte),
+		readWaits:       readWaits,
+		writeWaits:      writeWaits,
+		burstFirstWaits: burstFirstWaits,
+	}
+}
+
+// NewBRAM returns an on-chip BRAM block: single-cycle, burstable.
+func NewBRAM(size int) *Memory { return New("bram", size, 0, 0, 0) }
+
+// NewSRAM returns the 32 MB external static memory of the 32-bit system,
+// attached to the OPB ("using the OPB instead of the PLB to access external
+// memory requires a much smaller controller", §3.1). Asynchronous SRAM plus
+// controller overhead costs wait states on every access; the OPB EMC does
+// not burst.
+func NewSRAM() *Memory { return New("sram", 32<<20, 4, 3, -1) }
+
+// NewDDR returns the 512 MB DDR memory of the 64-bit system on the PLB:
+// higher first-access latency, streaming bursts.
+func NewDDR() *Memory { return New("ddr", 512<<20, 6, 2, 6) }
+
+// Name implements bus.Slave.
+func (m *Memory) Name() string { return m.name }
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() int { return m.size }
+
+// Stats returns access counts.
+func (m *Memory) Stats() (reads, writes uint64) { return m.reads, m.writes }
+
+// page returns the backing page for addr, allocating on demand when write
+// is true; a nil return means an untouched page (reads as zero) or an
+// out-of-range address.
+func (m *Memory) page(addr uint32, write bool) []byte {
+	if int(addr) >= m.size {
+		return nil
+	}
+	idx := addr >> pageBits
+	p := m.pages[idx]
+	if p == nil && write {
+		p = make([]byte, pageSize)
+		m.pages[idx] = p
+	}
+	return p
+}
+
+// byteAt reads one byte functionally.
+func (m *Memory) byteAt(addr uint32) byte {
+	if int(addr) >= m.size {
+		return 0xFF // floating bus
+	}
+	p := m.pages[addr>>pageBits]
+	if p == nil {
+		return 0
+	}
+	return p[addr&(pageSize-1)]
+}
+
+// setByte writes one byte functionally.
+func (m *Memory) setByte(addr uint32, v byte) {
+	p := m.page(addr, true)
+	if p == nil {
+		return
+	}
+	p[addr&(pageSize-1)] = v
+}
+
+// Read implements bus.Slave.
+func (m *Memory) Read(addr uint32, size int) (uint64, int) {
+	m.reads++
+	return m.PeekBE(addr, size), m.readWaits
+}
+
+// Write implements bus.Slave.
+func (m *Memory) Write(addr uint32, val uint64, size int) int {
+	m.writes++
+	m.PokeBE(addr, val, size)
+	return m.writeWaits
+}
+
+// BurstWaits implements bus.BurstSlave when bursts are supported.
+func (m *Memory) BurstWaits(addr uint32, beats int, write bool) int {
+	if m.burstFirstWaits < 0 {
+		// Degenerate to per-beat wait states (OPB EMC behaviour).
+		if write {
+			return beats * m.writeWaits
+		}
+		return beats * m.readWaits
+	}
+	return m.burstFirstWaits
+}
+
+// PeekBE reads big-endian without timing effects. Out-of-range reads return
+// all ones (floating bus).
+func (m *Memory) PeekBE(addr uint32, size int) uint64 {
+	if int(addr)+size > m.size {
+		return ^uint64(0)
+	}
+	var v uint64
+	for i := 0; i < size; i++ {
+		v = v<<8 | uint64(m.byteAt(addr+uint32(i)))
+	}
+	return v
+}
+
+// PokeBE writes big-endian without timing effects. Out-of-range writes are
+// dropped.
+func (m *Memory) PokeBE(addr uint32, val uint64, size int) {
+	if int(addr)+size > m.size {
+		return
+	}
+	for i := size - 1; i >= 0; i-- {
+		m.setByte(addr+uint32(i), byte(val))
+		val >>= 8
+	}
+}
+
+// LoadBytes copies raw bytes into memory at addr (test/program loading).
+func (m *Memory) LoadBytes(addr uint32, data []byte) error {
+	if int(addr)+len(data) > m.size {
+		return fmt.Errorf("memctl: %s: load of %d bytes at %#x out of range", m.name, len(data), addr)
+	}
+	for i, b := range data {
+		m.setByte(addr+uint32(i), b)
+	}
+	return nil
+}
+
+// ReadBytes copies size raw bytes out of memory at addr.
+func (m *Memory) ReadBytes(addr uint32, size int) ([]byte, error) {
+	if int(addr)+size > m.size {
+		return nil, fmt.Errorf("memctl: %s: read of %d bytes at %#x out of range", m.name, size, addr)
+	}
+	out := make([]byte, size)
+	for i := range out {
+		out[i] = m.byteAt(addr + uint32(i))
+	}
+	return out, nil
+}

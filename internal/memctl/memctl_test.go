@@ -1,0 +1,125 @@
+package memctl
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestBigEndianLayout(t *testing.T) {
+	m := NewBRAM(64)
+	m.PokeBE(0, 0x11223344, 4)
+	if b := m.byteAt(0); b != 0x11 {
+		t.Errorf("byte 0 = %#x, want 0x11 (big-endian)", b)
+	}
+	if b := m.byteAt(3); b != 0x44 {
+		t.Errorf("byte 3 = %#x, want 0x44", b)
+	}
+	if v := m.PeekBE(2, 2); v != 0x3344 {
+		t.Errorf("halfword at 2 = %#x", v)
+	}
+	m.PokeBE(8, 0x0102030405060708, 8)
+	if v := m.PeekBE(8, 8); v != 0x0102030405060708 {
+		t.Errorf("doubleword = %#x", v)
+	}
+	if v := m.PeekBE(12, 4); v != 0x05060708 {
+		t.Errorf("low word of doubleword = %#x", v)
+	}
+}
+
+func TestOutOfRangeSemantics(t *testing.T) {
+	m := NewBRAM(16)
+	if v := m.PeekBE(16, 4); v != ^uint64(0) {
+		t.Errorf("out-of-range read = %#x, want all ones", v)
+	}
+	m.PokeBE(14, 0xFFFF_FFFF, 4) // straddles the end: dropped
+	if v := m.PeekBE(12, 4); v != 0 {
+		t.Errorf("straddling write not dropped: %#x", v)
+	}
+	if err := m.LoadBytes(8, make([]byte, 9)); err == nil {
+		t.Error("out-of-range LoadBytes accepted")
+	}
+	if _, err := m.ReadBytes(8, 9); err == nil {
+		t.Error("out-of-range ReadBytes accepted")
+	}
+}
+
+func TestSparsePaging(t *testing.T) {
+	m := NewDDR() // 512 MB, should not allocate eagerly
+	if len(m.pages) != 0 {
+		t.Fatal("pages allocated before any write")
+	}
+	if v := m.PeekBE(400<<20, 4); v != 0 {
+		t.Fatalf("untouched page reads %#x, want 0", v)
+	}
+	if len(m.pages) != 0 {
+		t.Fatal("read allocated a page")
+	}
+	m.PokeBE(400<<20, 7, 4)
+	if len(m.pages) != 1 {
+		t.Fatalf("pages after one write = %d", len(m.pages))
+	}
+	if v := m.PeekBE(400<<20, 4); v != 7 {
+		t.Fatalf("readback = %d", v)
+	}
+}
+
+func TestLoadReadBytesAcrossPages(t *testing.T) {
+	m := New("m", 3*pageSize, 0, 0, 0)
+	data := make([]byte, pageSize+100)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	base := uint32(pageSize - 50)
+	if err := m.LoadBytes(base, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadBytes(base, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-page roundtrip mismatch")
+	}
+}
+
+func TestWaitStates(t *testing.T) {
+	sram := NewSRAM()
+	if _, w := sram.Read(0, 4); w != 4 {
+		t.Errorf("SRAM read waits = %d, want 4", w)
+	}
+	if w := sram.Write(0, 0, 4); w != 3 {
+		t.Errorf("SRAM write waits = %d, want 3", w)
+	}
+	// OPB EMC does not burst: waits scale with beats.
+	if w := sram.BurstWaits(0, 8, false); w != 32 {
+		t.Errorf("SRAM burst waits = %d, want 8*4", w)
+	}
+	ddr := NewDDR()
+	if w := ddr.BurstWaits(0, 16, false); w != 6 {
+		t.Errorf("DDR burst waits = %d, want first-access 6", w)
+	}
+	reads, writes := sram.Stats()
+	if reads != 1 || writes != 1 {
+		t.Errorf("stats = %d/%d", reads, writes)
+	}
+}
+
+// Property: PokeBE/PeekBE roundtrip for every size at arbitrary addresses.
+func TestPeekPokeRoundTripProperty(t *testing.T) {
+	m := New("m", 1<<20, 0, 0, 0)
+	f := func(addr uint32, val uint64, sizeSel uint8) bool {
+		sizes := []int{1, 2, 4, 8}
+		size := sizes[sizeSel%4]
+		addr %= 1<<20 - 8
+		mask := ^uint64(0)
+		if size < 8 {
+			mask = 1<<(8*size) - 1
+		}
+		m.PokeBE(addr, val, size)
+		return m.PeekBE(addr, size) == val&mask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

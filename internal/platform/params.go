@@ -1,0 +1,85 @@
+// Package platform assembles the two complete systems of the paper: Sys32
+// (XC2VP7, 32-bit OPB Dock, §3) and Sys64 (XC2VP30, 64-bit PLB Dock with
+// scatter-gather DMA, §4). It wires CPU, buses, bridge, memories, HWICAP,
+// dock, interrupt controller and the reconfiguration manager, loads the
+// static design into the configuration memory, and registers every dynamic
+// module that fits the region.
+package platform
+
+import "repro/internal/bus"
+
+// Timing gathers every calibration parameter of a system in one place.
+// The values are chosen so the published anchors hold: CPU 200 MHz and
+// buses at 50 MHz on the 32-bit system, CPU 300 MHz and buses at 100 MHz on
+// the 64-bit one (§3.1, §4.1), with protocol costs representative of
+// CoreConnect implementations of that generation.
+type Timing struct {
+	CPUHz uint64
+	BusHz uint64 // PLB and OPB share one frequency in both systems
+
+	PLB bus.Params
+	OPB bus.Params
+
+	BridgeRequestCycles int
+	BridgePostDepth     int
+
+	DockReadWaits  int
+	DockWriteWaits int
+
+	// DCacheOn enables the PPC405 D-cache model. The 32-bit system runs
+	// with the data cache off (standalone EDK-era configuration; it also
+	// avoids coherence management with no DMA in the system), the 64-bit
+	// system enables it — which is what makes cache-line traffic the only
+	// 64-bit traffic besides DMA (§4.1).
+	DCacheOn bool
+}
+
+// Sys32Timing returns the 32-bit system's calibration.
+func Sys32Timing() Timing {
+	return Timing{
+		CPUHz:               200_000_000,
+		BusHz:               50_000_000,
+		PLB:                 bus.Params{ArbCycles: 2, ReadExtra: 2, WriteExtra: 0, BeatCycles: 1},
+		OPB:                 bus.Params{ArbCycles: 2, ReadExtra: 1, WriteExtra: 0, BeatCycles: 1},
+		BridgeRequestCycles: 1,
+		BridgePostDepth:     2,
+		DockReadWaits:       4,
+		DockWriteWaits:      1,
+		DCacheOn:            false,
+	}
+}
+
+// Sys64Timing returns the 64-bit system's calibration.
+func Sys64Timing() Timing {
+	return Timing{
+		CPUHz:               300_000_000,
+		BusHz:               100_000_000,
+		PLB:                 bus.Params{ArbCycles: 2, ReadExtra: 2, WriteExtra: 0, BeatCycles: 1},
+		OPB:                 bus.Params{ArbCycles: 2, ReadExtra: 1, WriteExtra: 0, BeatCycles: 1},
+		BridgeRequestCycles: 1,
+		BridgePostDepth:     2,
+		DockReadWaits:       2,
+		DockWriteWaits:      1,
+		DCacheOn:            true,
+	}
+}
+
+// Address map shared by both systems (absolute bus addresses).
+const (
+	AddrBRAM   = 0xFFFF_0000
+	BRAMSize   = 16 << 10
+	AddrSRAM   = 0x2000_0000 // 32-bit system external memory (OPB)
+	AddrDDR    = 0x0000_0000 // 64-bit system external memory (PLB)
+	AddrDock32 = 0x4000_0000 // OPB Dock (4 KB window)
+	AddrDock64 = 0x5000_0000 // PLB Dock (64 KB window)
+	AddrICAP   = 0x4100_0000
+	AddrUART   = 0x4200_0000
+	AddrGPIO   = 0x4300_0000
+	AddrINTC   = 0x4400_0000
+	// bridgeBase/bridgeSize is the PLB window forwarded to the OPB.
+	bridgeBase = 0x2000_0000
+	bridgeSize = 0x2500_0000
+)
+
+// DockIRQLine is the interrupt-controller input driven by the PLB Dock.
+const DockIRQLine = 0

@@ -1,0 +1,336 @@
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/bitlinker"
+	"repro/internal/bitstream"
+	"repro/internal/bus"
+	"repro/internal/busmacro"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dock"
+	"repro/internal/fabric"
+	"repro/internal/hw"
+	"repro/internal/hwcore"
+	"repro/internal/icap"
+	"repro/internal/intc"
+	"repro/internal/memctl"
+	"repro/internal/sim"
+	"repro/internal/uart"
+)
+
+// System is one fully assembled platform.
+type System struct {
+	Name string
+	Is64 bool
+
+	K      *sim.Kernel
+	CPUClk *sim.Clock
+	BusClk *sim.Clock
+	CPU    *cpu.CPU
+
+	PLB    *bus.Bus
+	OPB    *bus.Bus
+	Bridge *bus.Bridge
+
+	BRAM   *memctl.Memory
+	ExtMem *memctl.Memory // SRAM (Sys32) or DDR (Sys64)
+
+	UART *uart.UART
+	GPIO *GPIO
+	INTC *intc.Controller // nil on Sys32
+
+	Dock32 *dock.OPBDock // nil on Sys64
+	Dock64 *dock.PLBDock // nil on Sys32
+
+	Dev    *fabric.Device
+	Region fabric.Region
+	CM     *fabric.ConfigMemory
+	ICAP   *icap.HWICAP
+	Mgr    *core.Manager
+
+	// Skipped lists modules that do not fit the dynamic area (SHA-1 on the
+	// 32-bit system).
+	Skipped []string
+
+	Timing Timing
+}
+
+// GPIO is the general-purpose I/O controller of the 32-bit system (LEDs and
+// push buttons, §3.1).
+type GPIO struct {
+	LEDs    uint32
+	Buttons uint32
+}
+
+// Name implements bus.Slave.
+func (g *GPIO) Name() string { return "opb-gpio" }
+
+// Read implements bus.Slave.
+func (g *GPIO) Read(addr uint32, size int) (uint64, int) {
+	if addr == 4 {
+		return uint64(g.Buttons), 1
+	}
+	return uint64(g.LEDs), 1
+}
+
+// Write implements bus.Slave.
+func (g *GPIO) Write(addr uint32, val uint64, size int) int {
+	if addr == 0 {
+		g.LEDs = uint32(val)
+	}
+	return 1
+}
+
+// NewSys32 assembles the 32-bit system of §3: XC2VP7, CPU at 200 MHz, PLB
+// and OPB at 50 MHz, external SRAM and the dynamic region's OPB Dock behind
+// the PLB→OPB bridge.
+func NewSys32() (*System, error) {
+	return build("sys32", false, Sys32Timing())
+}
+
+// NewSys64 assembles the 64-bit system of §4: XC2VP30, CPU at 300 MHz,
+// buses at 100 MHz, DDR and the PLB Dock (with DMA, output FIFO and
+// interrupt generator) directly on the 64-bit PLB.
+func NewSys64() (*System, error) {
+	return build("sys64", true, Sys64Timing())
+}
+
+func build(name string, is64 bool, tm Timing) (*System, error) {
+	s := &System{Name: name, Is64: is64, Timing: tm}
+	s.K = sim.NewKernel()
+	s.CPUClk = sim.NewClock("cpu", tm.CPUHz)
+	s.BusClk = sim.NewClock("bus", tm.BusHz)
+
+	s.PLB = bus.New(name+"-plb", s.K, s.BusClk, 8, tm.PLB)
+	s.OPB = bus.New(name+"-opb", s.K, s.BusClk, 4, tm.OPB)
+	s.Bridge = bus.NewBridge(s.PLB, s.OPB, bridgeBase, tm.BridgeRequestCycles, tm.BridgePostDepth)
+
+	// Fabric and configuration path.
+	var macro *busmacro.Macro
+	if is64 {
+		s.Dev, s.Region, macro = fabric.XC2VP30(), fabric.DynamicRegion64(), busmacro.Dock64()
+	} else {
+		s.Dev, s.Region, macro = fabric.XC2VP7(), fabric.DynamicRegion32(), busmacro.Dock32()
+	}
+	if err := s.Dev.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.Dev.ValidateRegion(s.Region); err != nil {
+		return nil, err
+	}
+	s.CM = fabric.NewConfigMemory(s.Dev)
+	loadStaticDesign(s.CM, s.Region)
+	baseline := s.CM.Clone()
+	loader := bitstream.NewLoader(s.CM)
+	s.ICAP = icap.New(s.K, s.BusClk, loader)
+
+	// Memories.
+	s.BRAM = memctl.NewBRAM(BRAMSize)
+	if err := s.PLB.Map(AddrBRAM, BRAMSize, s.BRAM); err != nil {
+		return nil, err
+	}
+	if is64 {
+		s.ExtMem = memctl.NewDDR()
+		if err := s.PLB.Map(AddrDDR, uint32(s.ExtMem.Size()), s.ExtMem); err != nil {
+			return nil, err
+		}
+	} else {
+		s.ExtMem = memctl.NewSRAM()
+		if err := s.OPB.Map(AddrSRAM, uint32(s.ExtMem.Size()), s.ExtMem); err != nil {
+			return nil, err
+		}
+	}
+
+	// OPB peripherals (both systems reach them through the bridge).
+	s.UART = uart.New()
+	if err := s.OPB.Map(AddrUART, 0x100, s.UART); err != nil {
+		return nil, err
+	}
+	if err := s.OPB.Map(AddrICAP, 0x100, s.ICAP); err != nil {
+		return nil, err
+	}
+	if is64 {
+		s.INTC = intc.New()
+		if err := s.OPB.Map(AddrINTC, 0x100, s.INTC); err != nil {
+			return nil, err
+		}
+	} else {
+		s.GPIO = &GPIO{}
+		if err := s.OPB.Map(AddrGPIO, 0x100, s.GPIO); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.PLB.Map(bridgeBase, bridgeSize, s.Bridge); err != nil {
+		return nil, err
+	}
+
+	// Docks.
+	var bind func(hw.Core)
+	if is64 {
+		s.Dock64 = dock.NewPLBDock(s.K, s.PLB, s.INTC, DockIRQLine, tm.DockReadWaits, tm.DockWriteWaits)
+		if err := s.PLB.Map(AddrDock64, 1<<16, s.Dock64); err != nil {
+			return nil, err
+		}
+		bind = s.Dock64.SetCore
+	} else {
+		s.Dock32 = dock.NewOPBDock(tm.DockReadWaits, tm.DockWriteWaits)
+		if err := s.OPB.Map(AddrDock32, 1<<12, s.Dock32); err != nil {
+			return nil, err
+		}
+		bind = s.Dock32.SetCore
+	}
+
+	// CPU.
+	params := cpu.DefaultParams(s.CPUClk)
+	if !tm.DCacheOn {
+		params.CacheSize = 0
+	}
+	s.CPU = cpu.New(s.K, params, s.PLB)
+	if tm.DCacheOn {
+		s.CPU.MapCacheable(AddrDDR, uint32(s.ExtMem.Size()))
+	}
+	// Device windows are guarded storage: stores to them do not post.
+	s.CPU.MapGuarded(AddrDock32, 0x0500_0000) // dock, HWICAP, UART, GPIO, INTC
+	if is64 {
+		s.CPU.MapGuarded(AddrDock64, 1<<16)
+	}
+
+	// Reconfiguration manager.
+	asm, err := bitlinker.New(s.Dev, s.Region, baseline, macro)
+	if err != nil {
+		return nil, err
+	}
+	s.Mgr, err = core.NewManager(core.Config{
+		Device:    s.Dev,
+		Region:    s.Region,
+		ConfigMem: s.CM,
+		Baseline:  baseline,
+		Assembler: asm,
+		Loader:    loader,
+		CPU:       s.CPU,
+		ICAPBase:  AddrICAP,
+		Bind:      bind,
+		Kernel:    s.K,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, spec := range hwcore.Specs() {
+		comp, err := hwcore.BuildComponent(spec, s.Dev, s.Region, macro)
+		if err != nil {
+			s.Skipped = append(s.Skipped, spec.Name)
+			continue
+		}
+		factory := spec.New
+		if err := s.Mgr.Register(comp, factory); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// loadStaticDesign fills the configuration memory with the static design's
+// image: deterministic content everywhere except the dynamic region band,
+// which the initial configuration leaves blank.
+func loadStaticDesign(cm *fabric.ConfigMemory, region fabric.Region) {
+	dev := cm.Device()
+	lo, hi := dev.RowWordRange(region.Row0, region.H)
+	frame := make([]uint32, dev.FrameLen())
+	bcols := make(map[int]bool)
+	for _, b := range dev.BRAMColumns(region) {
+		bcols[b] = true
+	}
+	fill := func(far fabric.FAR, blankBand bool) {
+		seed := uint64(far.Word()) ^ 0x57A71C_DE5160
+		for i := range frame {
+			if blankBand && i >= lo && i < hi {
+				frame[i] = 0
+				continue
+			}
+			frame[i] = staticWord(seed, i)
+		}
+		if err := cm.WriteFrame(far, frame); err != nil {
+			panic(err)
+		}
+	}
+	for col := 0; col < dev.Cols; col++ {
+		for minor := 0; minor < fabric.FramesPerCLBColumn; minor++ {
+			fill(fabric.FAR{Block: fabric.BlockCLB, Major: col, Minor: minor}, region.ContainsCol(col))
+		}
+	}
+	for bcol := range dev.BRAMColPos {
+		for minor := 0; minor < fabric.FramesPerBRAMColumn; minor++ {
+			fill(fabric.FAR{Block: fabric.BlockBRAM, Major: bcol, Minor: minor}, bcols[bcol])
+		}
+	}
+}
+
+func staticWord(seed uint64, i int) uint32 {
+	x := seed + uint64(i)*0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return uint32(x ^ (x >> 31))
+}
+
+// Now returns the current simulated time.
+func (s *System) Now() sim.Time { return s.K.Now() }
+
+// Measure runs fn and returns the simulated time it consumed.
+func (s *System) Measure(fn func()) sim.Time {
+	start := s.K.Now()
+	fn()
+	return s.K.Now() - start
+}
+
+// MemBase returns the external memory's bus address.
+func (s *System) MemBase() uint32 {
+	if s.Is64 {
+		return AddrDDR
+	}
+	return AddrSRAM
+}
+
+// DockBase returns the dock window's bus address.
+func (s *System) DockBase() uint32 {
+	if s.Is64 {
+		return AddrDock64
+	}
+	return AddrDock32
+}
+
+// DockData returns the dock data register's bus address.
+func (s *System) DockData() uint32 { return s.DockBase() + dock.RegData }
+
+// Core returns the circuit currently bound to the dock.
+func (s *System) Core() hw.Core {
+	if s.Is64 {
+		return s.Dock64.Core()
+	}
+	return s.Dock32.Core()
+}
+
+// LoadModule reconfigures the dynamic area with the named module and
+// returns the configuration time.
+func (s *System) LoadModule(name string) (sim.Time, error) {
+	t, err := s.Mgr.Load(name)
+	if err != nil {
+		return t, err
+	}
+	if s.Mgr.Current() != name {
+		return t, fmt.Errorf("platform: after loading %s the region binds %q", name, s.Mgr.Current())
+	}
+	return t, nil
+}
+
+// WriteMem loads bytes into external memory functionally (test and
+// benchmark setup; the board would receive them over the UART or JTAG).
+func (s *System) WriteMem(addr uint32, data []byte) error {
+	return s.ExtMem.LoadBytes(addr-s.MemBase(), data)
+}
+
+// ReadMem copies bytes out of external memory functionally.
+func (s *System) ReadMem(addr uint32, size int) ([]byte, error) {
+	return s.ExtMem.ReadBytes(addr-s.MemBase(), size)
+}

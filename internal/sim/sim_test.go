@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockPeriods(t *testing.T) {
+	cases := []struct {
+		hz     uint64
+		period Time
+	}{
+		{50_000_000, 20 * Nanosecond},
+		{100_000_000, 10 * Nanosecond},
+		{200_000_000, 5 * Nanosecond},
+		{300_000_000, Time(3_333_333)}, // femtoseconds, truncated
+	}
+	for _, c := range cases {
+		clk := NewClock("clk", c.hz)
+		if clk.Period() != c.period {
+			t.Errorf("hz=%d: period=%v want %v", c.hz, clk.Period(), c.period)
+		}
+		if got := clk.Cycles(10); got != 10*c.period {
+			t.Errorf("hz=%d: Cycles(10)=%v want %v", c.hz, got, 10*c.period)
+		}
+	}
+}
+
+func TestClockCyclesIn(t *testing.T) {
+	clk := NewClock("bus", 50_000_000)
+	if n := clk.CyclesIn(100 * Nanosecond); n != 5 {
+		t.Errorf("CyclesIn(100ns)=%d want 5", n)
+	}
+	if n := clk.CyclesIn(19 * Nanosecond); n != 0 {
+		t.Errorf("CyclesIn(19ns)=%d want 0", n)
+	}
+}
+
+func TestZeroFrequencyClockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero-frequency clock")
+		}
+	}()
+	NewClock("bad", 0)
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t Time
+		s string
+	}{
+		{500 * Femtosecond, "500 fs"},
+		{2 * Nanosecond, "2.000 ns"},
+		{1500 * Nanosecond, "1.500 us"},
+		{2500 * Microsecond, "2.500 ms"},
+		{3 * Second, "3.000 s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.s {
+			t.Errorf("String(%d)=%q want %q", uint64(c.t), got, c.s)
+		}
+	}
+}
+
+func TestKernelEventOrdering(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.Schedule(30*Nanosecond, func() { order = append(order, 3) })
+	k.Schedule(10*Nanosecond, func() { order = append(order, 1) })
+	k.Schedule(20*Nanosecond, func() { order = append(order, 2) })
+	k.Advance(25 * Nanosecond)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order after 25ns = %v, want [1 2]", order)
+	}
+	if k.Now() != 25*Nanosecond {
+		t.Fatalf("now = %v, want 25ns", k.Now())
+	}
+	k.Advance(10 * Nanosecond)
+	if len(order) != 3 || order[2] != 3 {
+		t.Fatalf("order after 35ns = %v, want [1 2 3]", order)
+	}
+}
+
+func TestKernelSameTimeFIFO(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(10*Nanosecond, func() { order = append(order, i) })
+	}
+	k.Advance(10 * Nanosecond)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-timestamp events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestKernelCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	e := k.Schedule(10*Nanosecond, func() { fired = true })
+	e.Cancel()
+	k.Advance(20 * Nanosecond)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestKernelEventSchedulesEvent(t *testing.T) {
+	k := NewKernel()
+	var hits []Time
+	k.Schedule(10*Nanosecond, func() {
+		hits = append(hits, k.Now())
+		k.Schedule(5*Nanosecond, func() { hits = append(hits, k.Now()) })
+	})
+	k.Advance(100 * Nanosecond)
+	if len(hits) != 2 || hits[0] != 10*Nanosecond || hits[1] != 15*Nanosecond {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestKernelSchedulePastPanics(t *testing.T) {
+	k := NewKernel()
+	k.Advance(100 * Nanosecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	k.ScheduleAt(50*Nanosecond, func() {})
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := NewKernel()
+	done := false
+	k.Schedule(10*Nanosecond, func() {})
+	k.Schedule(20*Nanosecond, func() { done = true })
+	if err := k.RunUntil(func() bool { return done }); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != 20*Nanosecond {
+		t.Fatalf("now=%v want 20ns", k.Now())
+	}
+	if err := k.RunUntil(func() bool { return false }); err == nil {
+		t.Fatal("expected error when queue drains")
+	}
+}
+
+func TestResourceSerialization(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "bus")
+	wait, done := r.Acquire(100 * Nanosecond)
+	if wait != 0 || done != 100*Nanosecond {
+		t.Fatalf("first acquire: wait=%v done=%v", wait, done)
+	}
+	// Second transaction issued at t=0 must queue behind the first.
+	wait, done = r.Acquire(50 * Nanosecond)
+	if wait != 100*Nanosecond || done != 150*Nanosecond {
+		t.Fatalf("second acquire: wait=%v done=%v", wait, done)
+	}
+	k.Advance(500 * Nanosecond)
+	wait, done = r.Acquire(10 * Nanosecond)
+	if wait != 0 || done != 510*Nanosecond {
+		t.Fatalf("idle acquire: wait=%v done=%v", wait, done)
+	}
+	busy, grants, waited := r.Stats()
+	if busy != 160*Nanosecond || grants != 3 || waited != 100*Nanosecond {
+		t.Fatalf("stats: busy=%v grants=%d waited=%v", busy, grants, waited)
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "bus")
+	if r.Utilization() != 0 {
+		t.Fatal("utilization before time passes should be 0")
+	}
+	r.Acquire(50 * Nanosecond)
+	k.Advance(100 * Nanosecond)
+	if u := r.Utilization(); u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization = %f, want ~0.5", u)
+	}
+}
+
+// Property: advancing in arbitrary chunks fires every scheduled event exactly
+// once and in timestamp order.
+func TestKernelAdvanceChunksProperty(t *testing.T) {
+	f := func(delays []uint16, chunks []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		k := NewKernel()
+		var fired []Time
+		var max Time
+		for _, d := range delays {
+			at := Time(d) * Nanosecond
+			if at > max {
+				max = at
+			}
+			k.ScheduleAt(at, func() { fired = append(fired, k.Now()) })
+		}
+		for _, c := range chunks {
+			k.Advance(Time(c) * Nanosecond)
+		}
+		if end := max + Nanosecond; end > k.Now() {
+			k.AdvanceTo(end)
+		}
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,196 @@
+// Package tasks implements the paper's application kernels twice on every
+// platform: as costed software running on the embedded CPU (the C baseline)
+// and as drivers for the hardware modules in the dynamic area. Software and
+// hardware paths operate on the same simulated memory and must produce
+// bit-identical results; only the simulated time differs.
+package tasks
+
+import (
+	"fmt"
+
+	"repro/internal/hwcore"
+	"repro/internal/platform"
+	"repro/internal/ref"
+)
+
+// PatternArgs describes a pattern-matching run: a bilevel image in external
+// memory (row-major, 32-bit packed words, MSB-first pixels) and an 8x8
+// pattern held in registers.
+type PatternArgs struct {
+	ImgAddr   uint32
+	W, H      int
+	Pattern   ref.Pattern8
+	Threshold int
+	// LUTAddr is where the software's 256-entry popcount table lives
+	// (the .data section of the C program).
+	LUTAddr uint32
+}
+
+// PatternResult is the task outcome.
+type PatternResult struct {
+	BestX, BestY, BestCount int
+	Hits                    int
+}
+
+// LoadPatternImage writes a binary image into external memory at addr.
+func LoadPatternImage(s *platform.System, addr uint32, im *ref.BinaryImage) error {
+	buf := make([]byte, 4*len(im.Words))
+	for i, w := range im.Words {
+		buf[4*i] = byte(w >> 24)
+		buf[4*i+1] = byte(w >> 16)
+		buf[4*i+2] = byte(w >> 8)
+		buf[4*i+3] = byte(w)
+	}
+	return s.WriteMem(addr, buf)
+}
+
+// LoadPopcountLUT installs the software baseline's 256-byte popcount table.
+func LoadPopcountLUT(s *platform.System, addr uint32) error {
+	lut := make([]byte, 256)
+	for i := range lut {
+		n := 0
+		for b := i; b != 0; b &= b - 1 {
+			n++
+		}
+		lut[i] = byte(n)
+	}
+	return s.WriteMem(addr, lut)
+}
+
+// PatternMatchSW is the software baseline: straightforward C, sliding the
+// window position by position, extracting eight window bits per pattern row
+// from the packed image and counting matches through the popcount table.
+// The bit manipulation is exactly the kind the paper calls "cumbersome to
+// express in the C programming language".
+func PatternMatchSW(s *platform.System, a PatternArgs) PatternResult {
+	c := s.CPU
+	wpr := (a.W + 31) / 32
+	res := PatternResult{BestCount: -1}
+	c.Call()
+	c.Op(8) // prologue: pattern rows into registers, pointer setup
+	for y := 0; y+8 <= a.H; y++ {
+		c.Op(2)
+		c.Branch(true)
+		for x := 0; x+8 <= a.W; x++ {
+			c.Op(2)
+			c.Branch(true)
+			count := 0
+			for j := 0; j < 8; j++ {
+				c.Op(2)
+				c.Branch(true)
+				// Address arithmetic for the packed row word.
+				c.Op(4)
+				row := y + j
+				wi := x / 32
+				off := uint(x % 32)
+				w0 := c.LW(a.ImgAddr + uint32(4*(row*wpr+wi)))
+				var bits byte
+				if off == 0 {
+					c.Op(2)
+					bits = byte(w0 >> 24)
+				} else {
+					// The window may straddle two words: shift/or/mask.
+					var w1 uint32
+					if wi+1 < wpr {
+						w1 = c.LW(a.ImgAddr + uint32(4*(row*wpr+wi+1)))
+					} else {
+						c.Op(1)
+					}
+					c.Op(4)
+					bits = byte((w0<<off | w1>>(32-off)) >> 24)
+				}
+				v := ^(bits ^ a.Pattern[j])
+				c.Op(2)
+				count += int(c.LB(a.LUTAddr + uint32(v)))
+				c.Op(1)
+			}
+			c.Op(2) // compare against best
+			if count > res.BestCount {
+				c.Branch(true)
+				c.Op(3)
+				res.BestX, res.BestY, res.BestCount = x, y, count
+			} else {
+				c.Branch(false)
+			}
+			c.Op(1)
+			if count >= a.Threshold {
+				c.Branch(true)
+				c.Op(1)
+				res.Hits++
+			} else {
+				c.Branch(false)
+			}
+		}
+	}
+	c.Ret()
+	return res
+}
+
+// PatternMatchHW drives the 8-stage matching pipeline in the dynamic area
+// with CPU-controlled transfers: the packed image is streamed band by band
+// and the per-position match counts are read back packed four per word.
+// The caller must have loaded the "patternmatch" module.
+func PatternMatchHW(s *platform.System, a PatternArgs) (PatternResult, error) {
+	if cur := s.Mgr.Current(); cur != "patternmatch" {
+		return PatternResult{}, fmt.Errorf("tasks: patternmatch module not loaded (current %q)", cur)
+	}
+	resetCore(s)
+	c := s.CPU
+	d := s.DockData()
+	wpr := (a.W + 31) / 32
+	bands := a.H - 7
+	positions := a.W - 7
+	res := PatternResult{BestCount: -1}
+
+	c.Call()
+	c.Op(10) // configuration word assembly
+	p := a.Pattern
+	c.SW(d, uint32(p[0])<<24|uint32(p[1])<<16|uint32(p[2])<<8|uint32(p[3]))
+	c.SW(d, uint32(p[4])<<24|uint32(p[5])<<16|uint32(p[6])<<8|uint32(p[7]))
+	c.SW(d, uint32(wpr)<<12|uint32(bands))
+	for b := 0; b < bands; b++ {
+		c.Op(2)
+		c.Branch(true)
+		for cw := 0; cw < wpr; cw++ {
+			c.Op(2)
+			c.Branch(true)
+			for j := 0; j < 8; j++ {
+				c.Op(3) // address arithmetic
+				w := c.LW(a.ImgAddr + uint32(4*((b+j)*wpr+cw)))
+				c.SW(d, w)
+				c.Op(2)
+				c.Branch(true)
+			}
+		}
+		// Read back the band's packed counts.
+		for rw := 0; rw < hwcore.ResultWordsPerBand(a.W); rw++ {
+			c.Op(2)
+			c.Branch(true)
+			w := c.LW(d)
+			for j := 0; j < 4; j++ {
+				x := 4*rw + j
+				if x >= positions {
+					break
+				}
+				count := int(w >> uint(8*(3-j)) & 0xFF)
+				c.Op(3) // extract + compare
+				if count > res.BestCount {
+					c.Branch(true)
+					c.Op(3)
+					res.BestX, res.BestY, res.BestCount = x, b, count
+				} else {
+					c.Branch(false)
+				}
+				if count >= a.Threshold {
+					c.Branch(true)
+					c.Op(1)
+					res.Hits++
+				} else {
+					c.Branch(false)
+				}
+			}
+		}
+	}
+	c.Ret()
+	return res, nil
+}

@@ -1,0 +1,14 @@
+package tasks
+
+import (
+	"repro/internal/dock"
+	"repro/internal/platform"
+)
+
+// resetCore pulses the dock's core-reset control bit, returning the circuit
+// in the dynamic area to its post-configuration state. Every hardware
+// driver starts with it, as the real software would.
+func resetCore(s *platform.System) {
+	s.CPU.SW(s.DockBase()+dock.RegCtrl, dock.CtrlCoreReset)
+	s.CPU.Sync()
+}

@@ -1,0 +1,80 @@
+// Package uart models the serial port of the generic architecture's
+// external communication unit (§2.1): an OPB UART used for data transfer,
+// control and debugging from a host computer.
+package uart
+
+import "bytes"
+
+// Register offsets (UART-Lite style).
+const (
+	RegRX   = 0x00 // receive data (read)
+	RegTX   = 0x04 // transmit data (write)
+	RegSTAT = 0x08 // status (read)
+	RegCTRL = 0x0C // control (write)
+)
+
+// Status bits.
+const (
+	StatRXValid = 1 << 0
+	StatTXEmpty = 1 << 2
+)
+
+// UART is a simple serial port model. Transmitted bytes are collected in a
+// buffer a test (or the host side of an example) can read; received bytes
+// are injected with Inject.
+type UART struct {
+	tx bytes.Buffer
+	rx []byte
+
+	txCount uint64
+}
+
+// New returns an idle UART.
+func New() *UART { return &UART{} }
+
+// Name implements bus.Slave.
+func (u *UART) Name() string { return "opb-uart" }
+
+// Read implements bus.Slave.
+func (u *UART) Read(addr uint32, size int) (uint64, int) {
+	switch addr {
+	case RegRX:
+		if len(u.rx) == 0 {
+			return 0, 1
+		}
+		v := uint64(u.rx[0])
+		u.rx = u.rx[1:]
+		return v, 1
+	case RegSTAT:
+		s := uint64(StatTXEmpty)
+		if len(u.rx) > 0 {
+			s |= StatRXValid
+		}
+		return s, 1
+	default:
+		return 0, 1
+	}
+}
+
+// Write implements bus.Slave.
+func (u *UART) Write(addr uint32, val uint64, size int) int {
+	switch addr {
+	case RegTX:
+		u.tx.WriteByte(byte(val))
+		u.txCount++
+	case RegCTRL:
+		if val&1 != 0 {
+			u.tx.Reset()
+		}
+	}
+	return 1
+}
+
+// Inject queues bytes on the receive side (host → board).
+func (u *UART) Inject(data []byte) { u.rx = append(u.rx, data...) }
+
+// Transmitted returns everything the software wrote to TX.
+func (u *UART) Transmitted() []byte { return u.tx.Bytes() }
+
+// TxCount returns the number of transmitted bytes.
+func (u *UART) TxCount() uint64 { return u.txCount }

@@ -1,0 +1,48 @@
+package uart
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTransmit(t *testing.T) {
+	u := New()
+	for _, b := range []byte("hello") {
+		u.Write(RegTX, uint64(b), 1)
+	}
+	if !bytes.Equal(u.Transmitted(), []byte("hello")) {
+		t.Fatalf("tx = %q", u.Transmitted())
+	}
+	if u.TxCount() != 5 {
+		t.Fatalf("tx count = %d", u.TxCount())
+	}
+	u.Write(RegCTRL, 1, 4) // clear
+	if len(u.Transmitted()) != 0 {
+		t.Fatal("ctrl reset did not clear tx buffer")
+	}
+}
+
+func TestReceive(t *testing.T) {
+	u := New()
+	if s, _ := u.Read(RegSTAT, 4); s&StatRXValid != 0 {
+		t.Fatal("RX valid with empty queue")
+	}
+	u.Inject([]byte{0x41, 0x42})
+	if s, _ := u.Read(RegSTAT, 4); s&StatRXValid == 0 {
+		t.Fatal("RX not valid after inject")
+	}
+	v, _ := u.Read(RegRX, 1)
+	if v != 0x41 {
+		t.Fatalf("rx = %#x", v)
+	}
+	v, _ = u.Read(RegRX, 1)
+	if v != 0x42 {
+		t.Fatalf("rx = %#x", v)
+	}
+	if s, _ := u.Read(RegSTAT, 4); s&StatRXValid != 0 {
+		t.Fatal("RX valid after drain")
+	}
+	if s, _ := u.Read(RegSTAT, 4); s&StatTXEmpty == 0 {
+		t.Fatal("TX should always be ready in this model")
+	}
+}
