@@ -1,0 +1,25 @@
+.PHONY: build test race vet bench sim sched
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+vet:
+	go vet ./...
+
+bench:
+	go test -bench . -benchtime 1x ./...
+
+# Regenerate the paper's tables and figures.
+sim:
+	go run ./cmd/fpgasim
+
+# Drive a mixed workload through the reconfiguration scheduler.
+sched:
+	go run ./cmd/fpgad -sys32 2 -sys64 2 -n 48 -batch 4 \
+		-mix "sha1=1,jenkins=2,patternmatch=1,brightness=2,blend=2,fade=2,transfer=1"

@@ -14,7 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
 	"repro/internal/bitlinker"
@@ -24,94 +24,116 @@ import (
 	"repro/internal/hwcore"
 )
 
-func main() {
-	module := flag.String("module", "", "module to assemble (see -list)")
-	system := flag.Int("system", 32, "target system: 32 or 64")
-	out := flag.String("o", "", "output XBF1 container path")
-	inspect := flag.String("inspect", "", "inspect an XBF1 container")
-	diff := flag.String("diff", "", "also assemble a differential stream assuming this module is loaded")
-	list := flag.Bool("list", false, "list available modules")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-	if *list {
-		for _, s := range hwcore.Specs() {
-			fmt.Printf("%-14s v%-4s %v\n", s.Name, s.Version, s.Res)
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("bitlinker", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	module := fs.String("module", "", "module to assemble (see -list)")
+	system := fs.Int("system", 32, "target system: 32 or 64")
+	outPath := fs.String("o", "", "output XBF1 container path")
+	inspect := fs.String("inspect", "", "inspect an XBF1 container")
+	diff := fs.String("diff", "", "also assemble a differential stream assuming this module is loaded")
+	list := fs.Bool("list", false, "list available modules")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
 		}
-		return
+		return 2
 	}
-	if *inspect != "" {
-		data, err := os.ReadFile(*inspect)
+	if err := link(out, *module, *system, *outPath, *inspect, *diff, *list); err != nil {
+		if err == errUsage {
+			fs.Usage()
+			return 2
+		}
+		fmt.Fprintln(errw, "bitlinker:", err)
+		return 1
+	}
+	return 0
+}
+
+var errUsage = fmt.Errorf("no module selected")
+
+func link(out io.Writer, module string, system int, outPath, inspect, diff string, list bool) error {
+	if list {
+		for _, s := range hwcore.Specs() {
+			fmt.Fprintf(out, "%-14s v%-4s %v\n", s.Name, s.Version, s.Res)
+		}
+		return nil
+	}
+	if inspect != "" {
+		data, err := os.ReadFile(inspect)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		var s bitstream.Stream
 		if err := s.UnmarshalBinary(data); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%s: device %s, %d words (%d bytes)\n", *inspect, s.Device, len(s.Words), s.SizeBytes())
-		return
+		fmt.Fprintf(out, "%s: device %s, %d words (%d bytes)\n", inspect, s.Device, len(s.Words), s.SizeBytes())
+		return nil
 	}
-	if *module == "" {
-		flag.Usage()
-		os.Exit(2)
+	if module == "" {
+		return errUsage
 	}
 
 	var dev *fabric.Device
 	var region fabric.Region
 	var macro *busmacro.Macro
-	if *system == 64 {
+	if system == 64 {
 		dev, region, macro = fabric.XC2VP30(), fabric.DynamicRegion64(), busmacro.Dock64()
 	} else {
 		dev, region, macro = fabric.XC2VP7(), fabric.DynamicRegion32(), busmacro.Dock32()
 	}
-	spec, err := hwcore.SpecByName(*module)
+	spec, err := hwcore.SpecByName(module)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	comp, err := hwcore.BuildComponent(spec, dev, region, macro)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	baseline := fabric.NewConfigMemory(dev)
 	asm, err := bitlinker.New(dev, region, baseline, macro)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	placed := bitlinker.Placed{C: comp, ColOff: region.W - comp.W}
 	res, err := asm.Assemble(placed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("%s for %s/%s: footprint %dx%d CLBs, %d frames, %d bytes, region hash %#016x\n",
-		*module, dev.Name, region.Name, comp.W, comp.H, res.Frames,
+	fmt.Fprintf(out, "%s for %s/%s: footprint %dx%d CLBs, %d frames, %d bytes, region hash %#016x\n",
+		module, dev.Name, region.Name, comp.W, comp.H, res.Frames,
 		res.Stream.SizeBytes(), res.RegionHash)
 
-	if *diff != "" {
-		prevSpec, err := hwcore.SpecByName(*diff)
+	if diff != "" {
+		prevSpec, err := hwcore.SpecByName(diff)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		prevComp, err := hwcore.BuildComponent(prevSpec, dev, region, macro)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		prev := asm.Target(bitlinker.Placed{C: prevComp, ColOff: region.W - prevComp.W})
 		dres, err := asm.AssembleDifferential(prev, placed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("differential (assuming %s loaded): %d frames, %d bytes (%.1f%% of complete)\n",
-			*diff, dres.Frames, dres.Stream.SizeBytes(),
+		fmt.Fprintf(out, "differential (assuming %s loaded): %d frames, %d bytes (%.1f%% of complete)\n",
+			diff, dres.Frames, dres.Stream.SizeBytes(),
 			100*float64(dres.Stream.SizeBytes())/float64(res.Stream.SizeBytes()))
 	}
-	if *out != "" {
+	if outPath != "" {
 		blob, err := res.Stream.MarshalBinary()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		if err := os.WriteFile(*out, blob, 0o644); err != nil {
-			log.Fatal(err)
+		if err := os.WriteFile(outPath, blob, 0o644); err != nil {
+			return err
 		}
-		fmt.Printf("wrote %s\n", *out)
+		fmt.Fprintf(out, "wrote %s\n", outPath)
 	}
+	return nil
 }

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	for _, want := range []string{"passthrough", "sha1", "jenkins", "fade"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestRunAssembleWriteInspect(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fade.xbf")
+	var out, errw bytes.Buffer
+	if code := run([]string{"-module", "fade", "-system", "32", "-diff", "brightness", "-o", path}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "fade for XC2VP7") || !strings.Contains(got, "differential (assuming brightness loaded)") {
+		t.Errorf("assemble output:\n%s", got)
+	}
+	out.Reset()
+	if code := run([]string{"-inspect", path}, &out, &errw); code != 0 {
+		t.Fatalf("inspect exit %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "device XC2VP7") {
+		t.Errorf("inspect output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(nil, &out, &errw); code != 2 {
+		t.Fatalf("no-args exit %d, want 2", code)
+	}
+	if code := run([]string{"-module", "nosuch"}, &out, &errw); code != 1 {
+		t.Fatalf("unknown module exit %d, want 1", code)
+	}
+}

@@ -12,34 +12,48 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/bench"
 )
 
-func main() {
-	fig := flag.Int("fig", 0, "render a single figure (1-4)")
-	flag.Parse()
-	render := func(n int) {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("floorplan", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	fig := fs.Int("fig", 0, "render a single figure (1-4)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	render := func(n int) bool {
 		switch n {
 		case 1:
-			bench.Figure1(os.Stdout)
+			bench.Figure1(out)
 		case 2:
-			bench.Figure2(os.Stdout)
+			bench.Figure2(out)
 		case 3:
-			bench.Floorplan(os.Stdout, bench.Sys32())
+			bench.Floorplan(out, bench.Sys32())
 		case 4:
-			bench.Floorplan(os.Stdout, bench.Sys64())
+			bench.Floorplan(out, bench.Sys64())
 		default:
-			fmt.Fprintf(os.Stderr, "floorplan: no figure %d\n", n)
-			os.Exit(1)
+			fmt.Fprintf(errw, "floorplan: no figure %d\n", n)
+			return false
 		}
+		return true
 	}
 	if *fig != 0 {
-		render(*fig)
-		return
+		if !render(*fig) {
+			return 1
+		}
+		return 0
 	}
 	for n := 1; n <= 4; n++ {
 		render(n)
 	}
+	return 0
 }

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAllFigures(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(nil, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"F1", "F2", "F3", "F4", "XC2VP7", "XC2VP30"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleAndBadFigure(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-fig", "2"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), "F2") {
+		t.Errorf("figure 2 output:\n%s", out.String())
+	}
+	if code := run([]string{"-fig", "9"}, &out, &errw); code != 1 {
+		t.Fatalf("bad figure exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,101 @@
+// Command fpgad is the scheduler front-end: it boots a pool of simulated
+// platforms and drives a configurable workload mix through the
+// reconfiguration scheduler, then reports per-module throughput, the
+// bitstream-cache hit rate and each member's final state.
+//
+// Usage:
+//
+//	fpgad                                        # default mixed workload
+//	fpgad -sys32 2 -sys64 2 -n 64 -mix "sha1=1,jenkins=2,fade=3"
+//	fpgad -batch 1 -v                            # strict FIFO, per-request log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/pool"
+	"repro/internal/sched"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("fpgad", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	sys32 := fs.Int("sys32", 2, "32-bit systems in the pool")
+	sys64 := fs.Int("sys64", 0, "64-bit systems in the pool")
+	n := fs.Int("n", 16, "number of requests")
+	mixSpec := fs.String("mix", "brightness=2,blend=1,fade=2,jenkins=1",
+		"workload mix as name=weight,... (tasks: "+fmt.Sprint(sched.TaskNames())+")")
+	batch := fs.Int("batch", 4, "same-module batch window (1 = strict FIFO)")
+	seed := fs.Int64("seed", 1, "workload seed")
+	verbose := fs.Bool("v", false, "log every request")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	mix, err := sched.ParseMix(*mixSpec)
+	if err != nil {
+		fmt.Fprintln(errw, "fpgad:", err)
+		return 2
+	}
+	w, err := sched.GenWorkload(*seed, *n, mix)
+	if err != nil {
+		fmt.Fprintln(errw, "fpgad:", err)
+		return 2
+	}
+	p, err := pool.New(pool.Config{Sys32: *sys32, Sys64: *sys64})
+	if err != nil {
+		fmt.Fprintln(errw, "fpgad:", err)
+		return 2
+	}
+	fmt.Fprintf(out, "pool: %d member(s); workload: %d request(s), mix %s, batch %d\n\n",
+		p.Size(), *n, *mixSpec, *batch)
+
+	s := sched.New(p, sched.Options{Batch: *batch})
+	failed := 0
+	for _, ch := range s.SubmitAll(w) {
+		r := <-ch
+		if r.Err != nil {
+			failed++
+			fmt.Fprintf(errw, "fpgad: request %d (%s): %v\n", r.ID, r.Task, r.Err)
+			continue
+		}
+		if *verbose {
+			hit := "miss"
+			if r.Report.CacheHit {
+				hit = "hit"
+			}
+			fmt.Fprintf(out, "req %3d %-20s member %d (%s)  cache %-4s  config %-12v work %v\n",
+				r.ID, r.Task, r.Member, r.System, hit, r.Report.Config, r.Report.Work)
+		}
+	}
+	s.Wait()
+	if *verbose {
+		fmt.Fprintln(out)
+	}
+	bench.ThroughputTable(s.Stats()).Format(out)
+	for _, m := range p.Snapshot() {
+		state := "intact"
+		if m.Corrupted {
+			state = "CORRUPTED"
+		}
+		resident := m.Resident
+		if resident == "" {
+			resident = "(blank)"
+		}
+		fmt.Fprintf(out, "member %d (%s): resident %-14s loads %-3d config time %-12v static %s\n",
+			m.ID, m.System, resident, m.Loads, m.LoadTime, state)
+	}
+	if failed > 0 {
+		fmt.Fprintf(errw, "fpgad: %d request(s) failed\n", failed)
+		return 1
+	}
+	return 0
+}

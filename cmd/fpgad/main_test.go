@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallWorkload(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-sys32", "1", "-n", "6", "-mix", "brightness=1,fade=1", "-seed", "3", "-v"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"S1 —", "bitstream cache hit rate", "member 0 (sys32)", "total", "6"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunRejectsBadMix(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-mix", "nosuchtask=1"}, &out, &errw); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "unknown task") {
+		t.Errorf("stderr: %s", errw.String())
+	}
+}
+
+func TestRunFailsUnsupportedModule(t *testing.T) {
+	// sha1 on a pure 32-bit pool: requests must fail, exit code 1.
+	var out, errw bytes.Buffer
+	if code := run([]string{"-sys32", "1", "-n", "2", "-mix", "sha1=1"}, &out, &errw); code != 1 {
+		t.Fatalf("exit %d, want 1, stderr:\n%s", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "no member supports") {
+		t.Errorf("stderr: %s", errw.String())
+	}
+}

@@ -12,38 +12,48 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/bench"
 )
 
-func main() {
-	table := flag.Int("table", 0, "regenerate a single table (1-12; 13=ablation A1, 14=ablation A2)")
-	figures := flag.Bool("figures", false, "render only the figures")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-	out := os.Stdout
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("fpgasim", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	table := fs.Int("table", 0, "regenerate a single table (1-12; 13=ablation A1, 14=ablation A2)")
+	figures := fs.Bool("figures", false, "render only the figures")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
 	if *figures {
-		renderFigures()
-		return
+		renderFigures(out)
+		return 0
 	}
 	if *table != 0 {
 		if t := oneTable(*table); t != nil {
 			t.Format(out)
-			return
+			return 0
 		}
-		fmt.Fprintf(os.Stderr, "fpgasim: no such table %d\n", *table)
-		os.Exit(1)
+		fmt.Fprintf(errw, "fpgasim: no such table %d\n", *table)
+		return 1
 	}
 
 	fmt.Fprintln(out, "== Reproduction: Silva & Ferreira, \"Exploiting dynamic reconfiguration of platform FPGAs\" (IPPS 2006) ==")
 	fmt.Fprintln(out)
-	renderFigures()
+	renderFigures(out)
 	for i := 1; i <= 14; i++ {
 		if t := oneTable(i); t != nil {
 			t.Format(out)
 		}
 	}
+	return 0
 }
 
 func oneTable(n int) *bench.Table {
@@ -81,9 +91,9 @@ func oneTable(n int) *bench.Table {
 	return nil
 }
 
-func renderFigures() {
-	bench.Figure1(os.Stdout)
-	bench.Figure2(os.Stdout)
-	bench.Floorplan(os.Stdout, bench.Sys32())
-	bench.Floorplan(os.Stdout, bench.Sys64())
+func renderFigures(out io.Writer) {
+	bench.Figure1(out)
+	bench.Figure2(out)
+	bench.Floorplan(out, bench.Sys32())
+	bench.Floorplan(out, bench.Sys64())
 }

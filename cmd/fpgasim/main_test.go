@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleTable(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-table", "13"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "A1") || !strings.Contains(got, "differential") {
+		t.Errorf("table 13 output:\n%s", got)
+	}
+}
+
+func TestRunFigures(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-figures"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	for _, want := range []string{"F1", "F2", "XC2VP7", "XC2VP30"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("figures missing %q", want)
+		}
+	}
+}
+
+func TestRunBadTable(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-table", "99"}, &out, &errw); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errw.String(), "no such table") {
+		t.Errorf("stderr: %s", errw.String())
+	}
+}

@@ -5,6 +5,9 @@
 // BitLinker-style assembly tool, CoreConnect buses, a timed PowerPC-405
 // CPU model, HWICAP, the OPB/PLB Dock wrappers with scatter-gather DMA,
 // and the paper's six dynamic-area task circuits with their software
-// baselines. See DESIGN.md for the architecture and EXPERIMENTS.md for the
-// paper-versus-measured record.
+// baselines. On top of the reproduction sits a reconfiguration scheduler
+// (internal/sched) that multiplexes a pool of platforms (internal/pool)
+// across competing task requests, treating the pool's dynamic areas as an
+// LRU bitstream cache. See DESIGN.md for the architecture and
+// EXPERIMENTS.md for the paper-versus-measured record.
 package repro

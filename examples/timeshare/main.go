@@ -1,77 +1,60 @@
-// Timeshare demonstrates the paper's primary motivation: time-sharing the
-// dynamic area between mutually exclusive tasks. A fade-in/fade-out video
-// effect alternates with a brightness correction pass; each task's circuit
-// is swapped into the single dynamic region on demand, and the manager's
-// statistics show what reconfiguration costs relative to the work done.
+// Timeshare demonstrates the paper's primary motivation — time-sharing
+// dynamic areas between mutually exclusive tasks — at the scheduler layer:
+// a fade-in/fade-out video effect alternates with a brightness correction
+// pass across a pool of two 32-bit platforms. The scheduler's affinity
+// placement converges on parking each effect on its own board, after which
+// every request is a bitstream-cache hit; on the seed's single board every
+// alternation paid a full reconfiguration instead.
 package main
 
 import (
 	"fmt"
 	"log"
-	"math/rand"
+	"os"
 
-	"repro/internal/platform"
+	"repro/internal/bench"
+	"repro/internal/pool"
+	"repro/internal/sched"
 	"repro/internal/tasks"
 )
 
 func main() {
-	sys, err := platform.NewSys32()
+	p, err := pool.New(pool.Config{Sys32: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("time-sharing the %d-CLB dynamic area of %s\n", sys.Region.CLBs(), sys.Dev.Name)
+	sys := p.Members()[0].Sys
+	fmt.Printf("time-sharing %d dynamic areas of %d CLBs each (%s)\n",
+		p.Size(), sys.Region.CLBs(), sys.Dev.Name)
 	fmt.Printf("registered modules: %v\n\n", sys.Mgr.Modules())
 
 	const n = 16 * 1024 // one small frame per step
-	rng := rand.New(rand.NewSource(7))
-	a := make([]byte, n)
-	b := make([]byte, n)
-	rng.Read(a)
-	rng.Read(b)
-	args := tasks.ImageArgs{
-		SrcA: sys.MemBase() + 0x100000,
-		SrcB: sys.MemBase() + 0x200040,
-		Dst:  sys.MemBase() + 0x300080,
-		N:    n,
-	}
-	if err := sys.WriteMem(args.SrcA, a); err != nil {
-		log.Fatal(err)
-	}
-	if err := sys.WriteMem(args.SrcB, b); err != nil {
-		log.Fatal(err)
-	}
-
-	// Fade-in-fade-out: sweep the factor, then touch up brightness — two
-	// mutually exclusive circuits sharing one region.
+	s := sched.New(p, sched.Options{Batch: 4})
+	var workload []tasks.Runner
 	for step := 0; step < 4; step++ {
-		args.F = 64 * (step + 1)
-		cfg, err := sys.LoadModule("fade")
-		if err != nil {
-			log.Fatal(err)
-		}
-		work := sys.Measure(func() {
-			if err := tasks.FadeHW(sys, args); err != nil {
-				log.Fatal(err)
-			}
-		})
-		fmt.Printf("step %d: fade(f=%3d)  config=%-12v work=%v\n", step, args.F, cfg, work)
-
-		args.Delta = 10 * (step + 1)
-		cfg, err = sys.LoadModule("brightness")
-		if err != nil {
-			log.Fatal(err)
-		}
-		work = sys.Measure(func() {
-			if err := tasks.BrightnessHW(sys, args); err != nil {
-				log.Fatal(err)
-			}
-		})
-		fmt.Printf("        brightness(%+3d) config=%-12v work=%v\n", args.Delta, cfg, work)
+		workload = append(workload,
+			tasks.FadeRun{Seed: int64(step), N: n, F: 64 * (step + 1)},
+			tasks.BrightnessRun{Seed: int64(step), N: n, Delta: 10 * (step + 1)},
+		)
 	}
+	for _, ch := range s.SubmitAll(workload) {
+		r := <-ch
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		cache := "miss"
+		if r.Report.CacheHit {
+			cache = "hit"
+		}
+		fmt.Printf("req %d: %-18s member %d  cache %-4s config=%-12v work=%v\n",
+			r.ID, r.Task, r.Member, cache, r.Report.Config, r.Report.Work)
+	}
+	s.Wait()
 
-	loads, cfgTotal, bytes := sys.Mgr.Stats()
-	fmt.Printf("\nreconfigurations: %d, total configuration time %v, %d stream bytes\n",
-		loads, cfgTotal, bytes)
-	fmt.Printf("simulated wall time: %v; static design intact: %v\n",
-		sys.Now(), !sys.Mgr.Corrupted())
+	fmt.Println()
+	bench.ThroughputTable(s.Stats()).Format(os.Stdout)
+	for _, m := range p.Snapshot() {
+		fmt.Printf("member %d: resident %-12s reconfigurations %d, config time %v, %d stream bytes, static intact: %v\n",
+			m.ID, m.Resident, m.Loads, m.LoadTime, m.StreamedBytes, !m.Corrupted)
+	}
 }

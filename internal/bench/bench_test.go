@@ -4,6 +4,10 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/pool"
+	"repro/internal/sched"
+	"repro/internal/tasks"
 )
 
 func TestResourceTablesWithinDevice(t *testing.T) {
@@ -73,6 +77,38 @@ func TestFiguresRender(t *testing.T) {
 	// The 32-bit floorplan must show the dynamic area markers.
 	if !strings.Contains(out, "####") {
 		t.Error("floorplan missing dynamic-area markers")
+	}
+}
+
+func TestThroughputTableFromScheduledWorkload(t *testing.T) {
+	p, err := pool.New(pool.Config{Sys32: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sched.New(p, sched.Options{Batch: 4})
+	w := []tasks.Runner{
+		tasks.FadeRun{Seed: 1, N: 256, F: 40},
+		tasks.FadeRun{Seed: 2, N: 256, F: 80},
+		tasks.BrightnessRun{Seed: 3, N: 256, Delta: 4},
+	}
+	for _, ch := range s.SubmitAll(w) {
+		if r := <-ch; r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	s.Wait()
+	tb := ThroughputTable(s.Stats())
+	if len(tb.Rows) != 3 { // fade, brightness, total
+		t.Fatalf("rows = %d, want 3:\n%+v", len(tb.Rows), tb.Rows)
+	}
+	if hitRate := tb.Raw()[0]; hitRate <= 0 {
+		t.Fatalf("hit rate %v, want >0 (second fade rides the warm configuration)", hitRate)
+	}
+	var buf bytes.Buffer
+	tb.Format(&buf)
+	if out := buf.String(); !strings.Contains(out, "bitstream cache hit rate") ||
+		!strings.Contains(out, "member 0 simulated busy time") {
+		t.Errorf("throughput table output:\n%s", out)
 	}
 }
 

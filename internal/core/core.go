@@ -116,6 +116,13 @@ func (m *Manager) Modules() []string {
 // Current returns the name of the loaded module ("" when none or unknown).
 func (m *Manager) Current() string { return m.current }
 
+// Has reports whether a module of that name is registered (a module that
+// does not fit the dynamic area is never registered).
+func (m *Manager) Has(name string) bool {
+	_, ok := m.modules[name]
+	return ok
+}
+
 // Corrupted reports whether a reconfiguration has damaged the static design
 // (never happens with BitLinker-assembled streams; the naive/differential
 // experiment paths can trigger it).

@@ -1,0 +1,79 @@
+package platform
+
+import "repro/internal/sim"
+
+// ExecReport describes one task execution on a system: whether the
+// requested module was already resident in the dynamic area (a bitstream
+// cache hit, no ICAP traffic) and the simulated time split between
+// reconfiguration and useful work.
+type ExecReport struct {
+	Module   string
+	CacheHit bool
+	Config   sim.Time
+	Work     sim.Time
+}
+
+// Latency is the simulated time the request occupied the system.
+func (r ExecReport) Latency() sim.Time { return r.Config + r.Work }
+
+// Resident returns the name of the module currently configured in the
+// dynamic area ("" when blank or corrupted). Unlike Mgr.Current it is safe
+// to call while another goroutine is inside Execute.
+func (s *System) Resident() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Mgr.Current()
+}
+
+// Supports reports whether the named module fits this system's dynamic
+// area (SHA-1, for instance, does not fit the 32-bit system).
+func (s *System) Supports(module string) bool {
+	return s.Mgr.Has(module)
+}
+
+// Status is a consistent snapshot of the system's reconfiguration state.
+type Status struct {
+	Resident      string
+	Now           sim.Time
+	Loads         uint64
+	LoadTime      sim.Time
+	StreamedBytes uint64
+	Corrupted     bool
+}
+
+// Status reports the resident module and manager statistics under the
+// system lock, so it is safe while another goroutine is inside Execute.
+func (s *System) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	loads, loadTime, bytes := s.Mgr.Stats()
+	return Status{
+		Resident:      s.Mgr.Current(),
+		Now:           s.K.Now(),
+		Loads:         loads,
+		LoadTime:      loadTime,
+		StreamedBytes: bytes,
+		Corrupted:     s.Mgr.Corrupted(),
+	}
+}
+
+// Execute reconfigures the dynamic area with the named module (a no-op
+// ICAP-wise when it is already resident) and then runs fn, which must
+// drive this system only. All simulated activity is serialized under the
+// system lock, so a pool of systems can be executed from concurrent
+// goroutines as long as each call names the system it drives.
+func (s *System) Execute(module string, fn func() error) (ExecReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := ExecReport{Module: module}
+	r.CacheHit = s.Mgr.Current() == module && !s.Mgr.Corrupted()
+	cfg, err := s.LoadModule(module)
+	r.Config = cfg
+	if err != nil {
+		return r, err
+	}
+	start := s.K.Now()
+	err = fn()
+	r.Work = s.K.Now() - start
+	return r, err
+}

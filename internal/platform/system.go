@@ -2,6 +2,7 @@ package platform
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/bitlinker"
 	"repro/internal/bitstream"
@@ -55,6 +56,12 @@ type System struct {
 	Skipped []string
 
 	Timing Timing
+
+	// mu serializes simulated activity. A System models one board: its
+	// kernel, CPU and manager are single-threaded, so concurrent users
+	// (the scheduler's pool workers) must go through Execute/Resident,
+	// which take this lock.
+	mu sync.Mutex
 }
 
 // GPIO is the general-purpose I/O controller of the 32-bit system (LEDs and

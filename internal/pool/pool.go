@@ -1,0 +1,99 @@
+// Package pool manages a farm of independent simulated platforms — the
+// "many boards" a production deployment would rack up to serve concurrent
+// reconfiguration workloads. Each member is one platform.System with its
+// own simulated timeline; members are built concurrently (boot is pure
+// setup) and are driven concurrently through the system's serialized
+// Execute surface. Placement policy lives above the pool, in sched.
+package pool
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/platform"
+)
+
+// Config sizes the pool: how many 32-bit and 64-bit systems to build.
+type Config struct {
+	Sys32 int
+	Sys64 int
+}
+
+// Member is one platform in the pool.
+type Member struct {
+	ID  int
+	Sys *platform.System
+}
+
+// Pool is a fixed set of booted platforms.
+type Pool struct {
+	members []*Member
+}
+
+// New boots the configured mix of systems, in parallel. Member IDs are
+// stable: 32-bit systems first, then 64-bit.
+func New(cfg Config) (*Pool, error) {
+	n := cfg.Sys32 + cfg.Sys64
+	if n <= 0 {
+		return nil, fmt.Errorf("pool: empty pool (sys32=%d sys64=%d)", cfg.Sys32, cfg.Sys64)
+	}
+	members := make([]*Member, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mk := platform.NewSys32
+			if i >= cfg.Sys32 {
+				mk = platform.NewSys64
+			}
+			s, err := mk()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			members[i] = &Member{ID: i, Sys: s}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Pool{members: members}, nil
+}
+
+// Members returns the pool's platforms.
+func (p *Pool) Members() []*Member { return p.members }
+
+// Size returns the number of platforms.
+func (p *Pool) Size() int { return len(p.members) }
+
+// Supports reports whether at least one member can host the module.
+func (p *Pool) Supports(module string) bool {
+	for _, m := range p.members {
+		if m.Sys.Supports(module) {
+			return true
+		}
+	}
+	return false
+}
+
+// MemberState is a point-in-time view of one platform for reporting.
+type MemberState struct {
+	ID     int
+	System string
+	platform.Status
+}
+
+// Snapshot reports every member's resident module and reconfiguration
+// statistics. Safe to call while the pool is being driven.
+func (p *Pool) Snapshot() []MemberState {
+	out := make([]MemberState, len(p.members))
+	for i, m := range p.members {
+		out[i] = MemberState{ID: m.ID, System: m.Sys.Name, Status: m.Sys.Status()}
+	}
+	return out
+}

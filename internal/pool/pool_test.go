@@ -1,0 +1,74 @@
+package pool
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/tasks"
+)
+
+func TestNewBuildsConfiguredMix(t *testing.T) {
+	p, err := New(Config{Sys32: 2, Sys64: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 3 {
+		t.Fatalf("size = %d, want 3", p.Size())
+	}
+	for i, m := range p.Members() {
+		want := "sys32"
+		if i >= 2 {
+			want = "sys64"
+		}
+		if m.Sys.Name != want || m.ID != i {
+			t.Errorf("member %d: %s id=%d, want %s id=%d", i, m.Sys.Name, m.ID, want, i)
+		}
+	}
+	if !p.Supports("sha1") {
+		t.Error("pool with a 64-bit member must support sha1")
+	}
+	if p32, _ := New(Config{Sys32: 1}); p32.Supports("sha1") {
+		t.Error("pure 32-bit pool must not support sha1")
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty pool config accepted")
+	}
+}
+
+func TestSnapshotDuringConcurrentExecution(t *testing.T) {
+	p, err := New(Config{Sys32: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, m := range p.Members() {
+		wg.Add(1)
+		go func(m *Member) {
+			defer wg.Done()
+			r := tasks.FadeRun{Seed: int64(m.ID), N: 256, F: 64}
+			for i := 0; i < 3; i++ {
+				if _, err := m.Sys.Execute(r.Module(), func() error { return r.Run(m.Sys) }); err != nil {
+					t.Error(err)
+				}
+			}
+		}(m)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	for alive := true; alive; {
+		select {
+		case <-done:
+			alive = false
+		default:
+			p.Snapshot() // must be race-free against Execute
+		}
+	}
+	for _, st := range p.Snapshot() {
+		if st.Resident != "fade" || st.Loads != 1 || st.Corrupted {
+			t.Errorf("member %d: %+v, want fade resident after exactly one load", st.ID, st)
+		}
+	}
+}

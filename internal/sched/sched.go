@@ -1,0 +1,292 @@
+// Package sched multiplexes a pool of dynamically reconfigurable platforms
+// across competing task requests — the scheduling layer the paper's
+// time-sharing methodology implies once more than one task (and more than
+// one board) contends for the dynamic area.
+//
+// The pool's N dynamic areas collectively form an N-entry, LRU-evicted
+// bitstream cache keyed by module name: a request whose module is already
+// resident on an idle member runs there without any ICAP traffic (a cache
+// hit); otherwise the least-recently-dispatched idle member is
+// reconfigured (a miss evicts that member's resident bitstream). Dispatch
+// order is FIFO over schedulable requests; an optional batch window pulls
+// up to Batch-1 queued requests for the same module forward so they ride a
+// warm configuration, bounding how far any request can be overtaken.
+package sched
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/platform"
+	"repro/internal/pool"
+	"repro/internal/sim"
+	"repro/internal/tasks"
+)
+
+// Options tunes the scheduler.
+type Options struct {
+	// Batch is the maximum number of same-module requests dispatched
+	// consecutively to one member ahead of strict FIFO order. 0 or 1
+	// disables reordering entirely (pure FIFO).
+	Batch int
+}
+
+// Result is the outcome of one scheduled request.
+type Result struct {
+	ID     uint64 // submission order, 1-based
+	Seq    uint64 // completion order across the pool, 1-based
+	Task   string
+	Module string
+	Member int
+	System string
+	Report platform.ExecReport
+	Err    error
+}
+
+// Latency is the simulated time the request occupied its member
+// (reconfiguration plus work).
+func (r Result) Latency() sim.Time { return r.Report.Latency() }
+
+// ModuleStats aggregates per-module outcomes.
+type ModuleStats struct {
+	Requests uint64
+	Hits     uint64
+	Misses   uint64
+	Config   sim.Time
+	Work     sim.Time
+	Errors   uint64
+}
+
+// Stats aggregates scheduler-wide outcomes.
+type Stats struct {
+	Requests uint64 // submitted
+	Done     uint64 // completed (including errors)
+	Hits     uint64
+	Misses   uint64
+	Config   sim.Time // total simulated reconfiguration time
+	Work     sim.Time // total simulated work time
+	Errors   uint64
+	Modules  map[string]ModuleStats
+	// BusyTime is each member's simulated busy time (config+work).
+	BusyTime []sim.Time
+}
+
+// HitRate returns the bitstream-cache hit fraction of executed requests
+// (submit-rejected requests never touch the cache and are excluded).
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// request is one queued task.
+type request struct {
+	id   uint64
+	task tasks.Runner
+	ch   chan Result
+}
+
+type memberState struct {
+	m *pool.Member
+	// busy marks a member with a dispatched batch in flight.
+	busy bool
+	// lastUsed is the dispatch tick of the most recent assignment; the
+	// idle member with the smallest tick is the LRU eviction victim.
+	lastUsed uint64
+}
+
+// Scheduler dispatches task requests onto a pool.
+type Scheduler struct {
+	opts Options
+
+	mu      sync.Mutex
+	pending []*request
+	members []*memberState
+	tick    uint64
+	nextID  uint64
+	stats   Stats
+	wg      sync.WaitGroup
+}
+
+// New returns a scheduler over the pool. The pool must not be driven by
+// anyone else while the scheduler owns it.
+func New(p *pool.Pool, opts Options) *Scheduler {
+	if opts.Batch < 1 {
+		opts.Batch = 1
+	}
+	s := &Scheduler{opts: opts, stats: Stats{Modules: make(map[string]ModuleStats)}}
+	for _, m := range p.Members() {
+		s.members = append(s.members, &memberState{m: m})
+	}
+	s.stats.BusyTime = make([]sim.Time, len(s.members))
+	return s
+}
+
+// Submit queues a task request and returns a channel that delivers its
+// Result exactly once. A request whose module no member supports fails
+// immediately.
+func (s *Scheduler) Submit(t tasks.Runner) <-chan Result {
+	ch := make(chan Result, 1)
+	s.mu.Lock()
+	s.nextID++
+	req := &request{id: s.nextID, task: t, ch: ch}
+	s.stats.Requests++
+	if !s.supported(t.Module()) {
+		s.stats.Done++
+		s.stats.Errors++
+		ms := s.stats.Modules[t.Module()]
+		ms.Requests++
+		ms.Errors++
+		s.stats.Modules[t.Module()] = ms
+		s.mu.Unlock()
+		ch <- Result{ID: req.id, Task: t.Name(), Module: t.Module(),
+			Member: -1, Err: fmt.Errorf("sched: no member supports module %q", t.Module())}
+		return ch
+	}
+	s.wg.Add(1)
+	s.pending = append(s.pending, req)
+	s.dispatchLocked()
+	s.mu.Unlock()
+	return ch
+}
+
+// SubmitAll queues a whole workload and returns the result channels in
+// submission order.
+func (s *Scheduler) SubmitAll(ts []tasks.Runner) []<-chan Result {
+	out := make([]<-chan Result, len(ts))
+	for i, t := range ts {
+		out[i] = s.Submit(t)
+	}
+	return out
+}
+
+// Wait blocks until every submitted request has completed.
+func (s *Scheduler) Wait() { s.wg.Wait() }
+
+// Stats returns a copy of the aggregate counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Modules = make(map[string]ModuleStats, len(s.stats.Modules))
+	for k, v := range s.stats.Modules {
+		st.Modules[k] = v
+	}
+	st.BusyTime = append([]sim.Time(nil), s.stats.BusyTime...)
+	return st
+}
+
+func (s *Scheduler) supported(module string) bool {
+	for _, ms := range s.members {
+		if ms.m.Sys.Supports(module) {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatchLocked assigns as many pending requests as the idle members
+// allow. Called with s.mu held.
+//
+// Policy: scan pending in FIFO order; the first request with an eligible
+// idle member is dispatched (later requests may only overtake it inside
+// the same-module batch window below, or when no idle member supports its
+// module — e.g. a sha1 request waiting for a 64-bit member while 32-bit
+// members sit idle). Member choice: an idle member with the module already
+// resident wins (cache hit); otherwise the least-recently-used idle member
+// is reconfigured.
+func (s *Scheduler) dispatchLocked() {
+	for {
+		ri, mi := s.pickLocked()
+		if ri < 0 {
+			return
+		}
+		head := s.pending[ri]
+		batch := []*request{head}
+		s.pending = append(s.pending[:ri], s.pending[ri+1:]...)
+		// Pull queued same-module requests into the batch window.
+		for i := 0; i < len(s.pending) && len(batch) < s.opts.Batch; {
+			if s.pending[i].task.Module() == head.task.Module() {
+				batch = append(batch, s.pending[i])
+				s.pending = append(s.pending[:i], s.pending[i+1:]...)
+				continue
+			}
+			i++
+		}
+		ms := s.members[mi]
+		ms.busy = true
+		s.tick++
+		ms.lastUsed = s.tick
+		go s.runBatch(ms, mi, batch)
+	}
+}
+
+// pickLocked returns the indices of the first schedulable pending request
+// and its chosen member, or (-1, -1).
+func (s *Scheduler) pickLocked() (int, int) {
+	for ri, req := range s.pending {
+		mod := req.task.Module()
+		best := -1
+		for mi, ms := range s.members {
+			if ms.busy || !ms.m.Sys.Supports(mod) {
+				continue
+			}
+			if ms.m.Sys.Resident() == mod {
+				return ri, mi // cache hit: no better member exists
+			}
+			if best < 0 || ms.lastUsed < s.members[best].lastUsed {
+				best = mi
+			}
+		}
+		if best >= 0 {
+			return ri, best
+		}
+	}
+	return -1, -1
+}
+
+func (s *Scheduler) runBatch(ms *memberState, mi int, batch []*request) {
+	for _, req := range batch {
+		t := req.task
+		sys := ms.m.Sys
+		rep, err := sys.Execute(t.Module(), func() error { return t.Run(sys) })
+		res := Result{ID: req.id, Task: t.Name(), Module: t.Module(),
+			Member: ms.m.ID, System: sys.Name, Report: rep, Err: err}
+		res.Seq = s.record(mi, res)
+		req.ch <- res
+		s.wg.Done()
+	}
+	s.mu.Lock()
+	ms.busy = false
+	s.dispatchLocked()
+	s.mu.Unlock()
+}
+
+func (s *Scheduler) record(mi int, res Result) (seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := &s.stats
+	st.Done++
+	seq = st.Done
+	st.Config += res.Report.Config
+	st.Work += res.Report.Work
+	st.BusyTime[mi] += res.Report.Latency()
+	m := st.Modules[res.Module]
+	m.Requests++
+	m.Config += res.Report.Config
+	m.Work += res.Report.Work
+	if res.Report.CacheHit {
+		st.Hits++
+		m.Hits++
+	} else {
+		st.Misses++
+		m.Misses++
+	}
+	if res.Err != nil {
+		st.Errors++
+		m.Errors++
+	}
+	st.Modules[res.Module] = m
+	return seq
+}

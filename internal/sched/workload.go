@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/tasks"
+)
+
+// MixItem weights one task type in a generated workload.
+type MixItem struct {
+	Task   string
+	Weight int
+}
+
+// TaskNames lists the task types GenWorkload can produce.
+func TaskNames() []string {
+	return []string{"sha1", "jenkins", "patternmatch", "brightness", "blend", "fade", "transfer"}
+}
+
+// ParseMix parses "jenkins=3,fade=1" into weighted mix items. A bare name
+// gets weight 1.
+func ParseMix(spec string) ([]MixItem, error) {
+	known := make(map[string]bool)
+	for _, n := range TaskNames() {
+		known[n] = true
+	}
+	var mix []MixItem
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, ws, has := strings.Cut(part, "=")
+		w := 1
+		if has {
+			var err error
+			if w, err = strconv.Atoi(ws); err != nil || w < 1 {
+				return nil, fmt.Errorf("sched: bad weight in mix item %q", part)
+			}
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("sched: unknown task %q (have %s)", name, strings.Join(TaskNames(), ", "))
+		}
+		mix = append(mix, MixItem{Task: name, Weight: w})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("sched: empty workload mix %q", spec)
+	}
+	sort.SliceStable(mix, func(i, j int) bool { return mix[i].Task < mix[j].Task })
+	return mix, nil
+}
+
+// GenWorkload draws n task requests from the weighted mix with a seeded
+// generator: the same (seed, n, mix) always yields the same workload.
+// Payload sizes are kept small — the point of a scheduler workload is
+// contention for the dynamic area, not long kernels.
+func GenWorkload(seed int64, n int, mix []MixItem) ([]tasks.Runner, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sched: workload size %d", n)
+	}
+	total := 0
+	for _, m := range mix {
+		total += m.Weight
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("sched: zero-weight mix")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]tasks.Runner, 0, n)
+	for i := 0; i < n; i++ {
+		pick := rng.Intn(total)
+		var name string
+		for _, m := range mix {
+			if pick < m.Weight {
+				name = m.Task
+				break
+			}
+			pick -= m.Weight
+		}
+		r, err := makeRunner(name, rng)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// makeRunner builds one small-payload runner of the named type.
+func makeRunner(name string, rng *rand.Rand) (tasks.Runner, error) {
+	seed := rng.Int63()
+	switch name {
+	case "sha1":
+		return tasks.SHA1Run{Seed: seed, Len: 64 + rng.Intn(512)}, nil
+	case "jenkins":
+		return tasks.JenkinsRun{Seed: seed, Len: 64 + rng.Intn(1024), InitVal: rng.Uint32()}, nil
+	case "patternmatch":
+		return tasks.PatternRun{Seed: seed, W: 32, H: 16 + 8*rng.Intn(3), Threshold: 56}, nil
+	case "brightness":
+		return tasks.BrightnessRun{Seed: seed, N: 256 + 8*rng.Intn(64), Delta: rng.Intn(101) - 50}, nil
+	case "blend":
+		return tasks.BlendRun{Seed: seed, N: 256 + 8*rng.Intn(64)}, nil
+	case "fade":
+		return tasks.FadeRun{Seed: seed, N: 256 + 8*rng.Intn(64), F: rng.Intn(257)}, nil
+	case "transfer":
+		return tasks.TransferRun{Kind: tasks.TransferKind(rng.Intn(3)), Words: 64 + rng.Intn(192)}, nil
+	}
+	return nil, fmt.Errorf("sched: unknown task %q", name)
+}
