@@ -1,4 +1,4 @@
-.PHONY: build test race vet bench sim sched
+.PHONY: build test race vet fmt bench gobench sim sched
 
 build:
 	go build ./...
@@ -12,7 +12,19 @@ race:
 vet:
 	go vet ./...
 
+# Fail when any file is not gofmt-clean (CI gate).
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Write the scheduler perf trajectory: the S2 placement comparison
+# (complete-only vs planner-backed, lru vs mincost) on the seeded
+# 60-request mixed workload, as a table on stdout and BENCH_sched.json.
 bench:
+	go run ./cmd/fpgad -compare -json BENCH_sched.json -sys32 2 -sys64 2 -n 60 -seed 7 -batch 4 \
+		-mix "sha1=1,jenkins=2,patternmatch=1,brightness=2,blend=2,fade=2,transfer=1"
+
+# Go benchmark harness (paper tables + scheduler economics).
+gobench:
 	go test -bench . -benchtime 1x ./...
 
 # Regenerate the paper's tables and figures.
@@ -21,5 +33,5 @@ sim:
 
 # Drive a mixed workload through the reconfiguration scheduler.
 sched:
-	go run ./cmd/fpgad -sys32 2 -sys64 2 -n 48 -batch 4 \
+	go run ./cmd/fpgad -sys32 2 -sys64 2 -n 48 -batch 4 -policy mincost \
 		-mix "sha1=1,jenkins=2,patternmatch=1,brightness=2,blend=2,fade=2,transfer=1"

@@ -1,20 +1,26 @@
 // Command fpgad is the scheduler front-end: it boots a pool of simulated
 // platforms and drives a configurable workload mix through the
 // reconfiguration scheduler, then reports per-module throughput, the
-// bitstream-cache hit rate and each member's final state.
+// bitstream-cache hit rate, the streams the planner chose and each
+// member's final state.
 //
 // Usage:
 //
 //	fpgad                                        # default mixed workload
 //	fpgad -sys32 2 -sys64 2 -n 64 -mix "sha1=1,jenkins=2,fade=3"
 //	fpgad -batch 1 -v                            # strict FIFO, per-request log
+//	fpgad -policy mincost                        # cost-aware placement
+//	fpgad -plan=false                            # complete streams only
+//	fpgad -compare -json BENCH_sched.json        # S2 policy comparison
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/pool"
@@ -33,6 +39,13 @@ func run(args []string, out, errw io.Writer) int {
 		"workload mix as name=weight,... (tasks: "+fmt.Sprint(sched.TaskNames())+")")
 	batch := fs.Int("batch", 4, "same-module batch window (1 = strict FIFO)")
 	seed := fs.Int64("seed", 1, "workload seed")
+	policyName := fs.String("policy", "lru",
+		"placement policy on a cache miss ("+strings.Join(sched.PolicyNames(), ", ")+")")
+	planOn := fs.Bool("plan", true,
+		"plan differential streams against verified resident state (false = complete streams only)")
+	compare := fs.Bool("compare", false,
+		"run the S2 placement comparison (complete-only vs planner-backed) instead of a single run")
+	jsonPath := fs.String("json", "", "write machine-readable per-policy records to this file")
 	verbose := fs.Bool("v", false, "log every request")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -40,25 +53,51 @@ func run(args []string, out, errw io.Writer) int {
 		}
 		return 2
 	}
+	spec := bench.PlacementSpec{
+		Pool:  pool.Config{Sys32: *sys32, Sys64: *sys64},
+		Seed:  *seed,
+		N:     *n,
+		Mix:   *mixSpec,
+		Batch: *batch,
+	}
+	policy, err := sched.PolicyByName(*policyName)
+	if err != nil {
+		fmt.Fprintln(errw, "fpgad:", err)
+		return 2
+	}
 	mix, err := sched.ParseMix(*mixSpec)
 	if err != nil {
 		fmt.Fprintln(errw, "fpgad:", err)
 		return 2
+	}
+	if *compare {
+		// The comparison sweeps every policy × stream-mode configuration
+		// itself, so a single-run selection would be misleading.
+		if *policyName != "lru" || !*planOn {
+			fmt.Fprintln(errw, "fpgad: -compare runs all placement configurations; -policy/-plan only apply to single runs")
+			return 2
+		}
+		return runCompare(spec, *jsonPath, out, errw)
 	}
 	w, err := sched.GenWorkload(*seed, *n, mix)
 	if err != nil {
 		fmt.Fprintln(errw, "fpgad:", err)
 		return 2
 	}
-	p, err := pool.New(pool.Config{Sys32: *sys32, Sys64: *sys64})
+	p, err := pool.New(spec.Pool)
 	if err != nil {
 		fmt.Fprintln(errw, "fpgad:", err)
 		return 2
 	}
-	fmt.Fprintf(out, "pool: %d member(s); workload: %d request(s), mix %s, batch %d\n\n",
-		p.Size(), *n, *mixSpec, *batch)
+	p.SetPlanning(*planOn)
+	streams := "planned (differential where safe)"
+	if !*planOn {
+		streams = "complete only"
+	}
+	fmt.Fprintf(out, "pool: %d member(s); workload: %d request(s), mix %s, batch %d, policy %s, streams %s\n\n",
+		p.Size(), *n, *mixSpec, *batch, policy.Name(), streams)
 
-	s := sched.New(p, sched.Options{Batch: *batch})
+	s := sched.New(p, sched.Options{Batch: *batch, Policy: policy})
 	failed := 0
 	for _, ch := range s.SubmitAll(w) {
 		r := <-ch
@@ -68,19 +107,17 @@ func run(args []string, out, errw io.Writer) int {
 			continue
 		}
 		if *verbose {
-			hit := "miss"
-			if r.Report.CacheHit {
-				hit = "hit"
-			}
-			fmt.Fprintf(out, "req %3d %-20s member %d (%s)  cache %-4s  config %-12v work %v\n",
-				r.ID, r.Task, r.Member, r.System, hit, r.Report.Config, r.Report.Work)
+			fmt.Fprintf(out, "req %3d %-20s member %d (%s)  stream %-12s %8d B  config %-12v work %v\n",
+				r.ID, r.Task, r.Member, r.System, r.Report.Kind, r.Report.BytesStreamed,
+				r.Report.Config, r.Report.Work)
 		}
 	}
 	s.Wait()
 	if *verbose {
 		fmt.Fprintln(out)
 	}
-	bench.ThroughputTable(s.Stats()).Format(out)
+	st := s.Stats()
+	bench.ThroughputTable(st).Format(out)
 	for _, m := range p.Snapshot() {
 		state := "intact"
 		if m.Corrupted {
@@ -90,12 +127,55 @@ func run(args []string, out, errw io.Writer) int {
 		if resident == "" {
 			resident = "(blank)"
 		}
-		fmt.Fprintf(out, "member %d (%s): resident %-14s loads %-3d config time %-12v static %s\n",
-			m.ID, m.System, resident, m.Loads, m.LoadTime, state)
+		fmt.Fprintf(out, "member %d (%s): resident %-14s loads %-3d (%d complete / %d diff)  config time %-12v static %s\n",
+			m.ID, m.System, resident, m.Loads, m.CompleteLoads, m.DiffLoads, m.LoadTime, state)
+	}
+	if *jsonPath != "" {
+		// Same label scheme as the -compare records, so trajectory
+		// consumers see one series per configuration.
+		label := policy.Name() + "+complete-only"
+		if *planOn {
+			label = policy.Name() + "+planner"
+		}
+		run := bench.PlacementRun{Label: label, Policy: policy.Name(), Planner: *planOn, Stats: st}
+		if err := writeRecords(*jsonPath, bench.PlacementRecords([]bench.PlacementRun{run})); err != nil {
+			fmt.Fprintln(errw, "fpgad:", err)
+			return 1
+		}
+		fmt.Fprintf(out, "\nwrote %s\n", *jsonPath)
 	}
 	if failed > 0 {
 		fmt.Fprintf(errw, "fpgad: %d request(s) failed\n", failed)
 		return 1
 	}
 	return 0
+}
+
+// runCompare drives the same seeded workload under each placement
+// configuration and renders table S2 (optionally emitting JSON records).
+func runCompare(spec bench.PlacementSpec, jsonPath string, out, errw io.Writer) int {
+	fmt.Fprintf(out, "comparing placement configurations on the same workload: pool %d+%d, %d request(s), mix %s, batch %d, seed %d\n\n",
+		spec.Pool.Sys32, spec.Pool.Sys64, spec.N, spec.Mix, spec.Batch, spec.Seed)
+	runs, err := bench.PlacementRuns(spec)
+	if err != nil {
+		fmt.Fprintln(errw, "fpgad:", err)
+		return 1
+	}
+	bench.PlacementTable(runs).Format(out)
+	if jsonPath != "" {
+		if err := writeRecords(jsonPath, bench.PlacementRecords(runs)); err != nil {
+			fmt.Fprintln(errw, "fpgad:", err)
+			return 1
+		}
+		fmt.Fprintf(out, "wrote %s\n", jsonPath)
+	}
+	return 0
+}
+
+func writeRecords(path string, recs []bench.PlacementRecord) error {
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

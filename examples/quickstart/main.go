@@ -42,13 +42,21 @@ func main() {
 		}
 	})
 
-	// Reconfigure the dynamic area: assemble (BitLinker), stream through
-	// the HWICAP, bind the behavioural core by configuration hash.
-	cfgTime, err := sys.LoadModule("brightness")
+	// Reconfigure the dynamic area: the planner picks the cheapest safe
+	// stream (here a differential against the verified blank baseline),
+	// the BitLinker-assembled frames go through the HWICAP, and the
+	// behavioural core is bound by configuration hash.
+	rep, err := sys.LoadModule("brightness")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("reconfiguration took %v (stream cached for next time)\n", cfgTime)
+	fmt.Printf("reconfiguration: %s stream, %d B in %v (transition cached for next time)\n",
+		rep.Kind, rep.Bytes, rep.Time)
+	full, _, err := sys.Mgr.CompleteSize("brightness")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  (the state-independent complete stream would be %d B)\n", full)
 
 	hwTime := sys.Measure(func() {
 		if err := tasks.BrightnessHW(sys, args); err != nil {

@@ -30,10 +30,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := sys.LoadModule("sha1"); err != nil {
+	rep, err := sys.LoadModule("sha1")
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("64-bit system: sha1 core loaded into the %d-CLB dynamic area\n\n", sys.Region.CLBs())
+	fmt.Printf("64-bit system: sha1 core loaded into the %d-CLB dynamic area\n", sys.Region.CLBs())
+	fmt.Printf("  (%s stream: %d B in %v — only the frames that differ from the blank baseline)\n\n",
+		rep.Kind, rep.Bytes, rep.Time)
 	fmt.Printf("%-10s  %-12s  %-12s  %s\n", "message", "software", "hardware", "speedup")
 
 	rng := rand.New(rand.NewSource(3))

@@ -46,8 +46,8 @@ func main() {
 		if r.Report.CacheHit {
 			cache = "hit"
 		}
-		fmt.Printf("req %d: %-18s member %d  cache %-4s config=%-12v work=%v\n",
-			r.ID, r.Task, r.Member, cache, r.Report.Config, r.Report.Work)
+		fmt.Printf("req %d: %-18s member %d  cache %-4s stream %-12s config=%-12v work=%v\n",
+			r.ID, r.Task, r.Member, cache, r.Report.Kind, r.Report.Config, r.Report.Work)
 	}
 	s.Wait()
 

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPlannerBeatsCompleteOnlyBaseline is the acceptance criterion of the
+// transition-aware refactor: on the seeded 60-request mixed workload, the
+// planner with cost-aware placement strictly reduces both total simulated
+// configuration time and configuration bytes streamed versus the PR 1
+// baseline (lru placement, complete streams only).
+func TestPlannerBeatsCompleteOnlyBaseline(t *testing.T) {
+	spec := DefaultPlacementSpec()
+	runs, err := PlacementRuns(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("runs = %d, want 3", len(runs))
+	}
+	base := runs[0] // lru + complete-only
+	if base.Stats.DiffLoads != 0 {
+		t.Fatalf("baseline issued %d differential loads, want 0", base.Stats.DiffLoads)
+	}
+	for _, r := range runs[1:] {
+		st, bst := r.Stats, base.Stats
+		if st.Done != bst.Done || st.Errors != 0 {
+			t.Fatalf("%s: %d done %d errors, want %d clean", r.Label, st.Done, st.Errors, bst.Done)
+		}
+		if st.Config >= bst.Config {
+			t.Errorf("%s config time %v not below baseline %v", r.Label, st.Config, bst.Config)
+		}
+		if st.BytesStreamed >= bst.BytesStreamed {
+			t.Errorf("%s streamed %d B, not below baseline %d B", r.Label, st.BytesStreamed, bst.BytesStreamed)
+		}
+		if st.CompleteLoads != 0 {
+			t.Errorf("%s paid %d complete streams; every miss should plan a differential on this workload",
+				r.Label, st.CompleteLoads)
+		}
+	}
+	tb := PlacementTable(runs)
+	var buf bytes.Buffer
+	tb.Format(&buf)
+	out := buf.String()
+	for _, want := range []string{"S2 —", "lru+complete-only", "lru+planner", "mincost+planner", "bytes streamed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("S2 table missing %q:\n%s", want, out)
+		}
+	}
+	recs := PlacementRecords(runs)
+	if len(recs) != 3 || recs[0].ConfigMs <= recs[2].ConfigMs || recs[2].DiffLoads == 0 {
+		t.Errorf("placement records inconsistent: %+v", recs)
+	}
+}

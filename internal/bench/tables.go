@@ -490,22 +490,20 @@ func imageWants(s *platform.System, a tasks.ImageArgs) (b, bl, f []byte) {
 func ConfigTimeTable(s *platform.System) *Table {
 	t := &Table{ID: "A1", Title: "Configuration time: complete vs differential partial bitstreams",
 		Columns: []string{"transition", "stream", "size", "time"}}
-	full, err := s.LoadModule("brightness")
+	full, err := s.LoadComplete("brightness")
 	must(err)
-	size, err := s.Mgr.StreamSize("brightness")
-	must(err)
-	t.AddRow("(blank) -> brightness", "complete", fmt.Sprintf("%d B", size), fmtNS(float64(full)))
+	t.AddRow("(blank) -> brightness", "complete", fmt.Sprintf("%d B", full.Bytes), fmtNS(float64(full.Time)))
 
-	full2, err := s.LoadModule("blend")
+	full2, err := s.LoadComplete("blend")
 	must(err)
-	size2, err := s.Mgr.StreamSize("blend")
-	must(err)
-	t.AddRow("brightness -> blend", "complete", fmt.Sprintf("%d B", size2), fmtNS(float64(full2)))
+	t.AddRow("brightness -> blend", "complete", fmt.Sprintf("%d B", full2.Bytes), fmtNS(float64(full2.Time)))
 
+	diffBytes, _, err := s.Mgr.DifferentialSize("blend", "brightness")
+	must(err)
 	diff, err := s.Mgr.LoadDifferential("brightness", "blend")
 	must(err)
-	t.AddRow("blend -> brightness", "differential", "(frames that differ only)", fmtNS(float64(diff)))
-	t.rawNS = []float64{float64(full2), float64(diff)}
+	t.AddRow("blend -> brightness", "differential", fmt.Sprintf("%d B", diffBytes), fmtNS(float64(diff)))
+	t.rawNS = []float64{float64(full2.Time), float64(diff)}
 	t.Notes = append(t.Notes,
 		"complete streams configure correctly from any prior state; differential streams are smaller and faster but assume a known prior state (§2.2)")
 	return t
@@ -526,13 +524,13 @@ func HazardTable(s *platform.System) *Table {
 		}
 		t.AddRow(scenario, bound, static)
 	}
-	_, err := s.LoadModule("fade")
+	_, err := s.LoadComplete("fade")
 	must(err)
 	report("complete load of fade")
 	_, err = s.Mgr.LoadDifferential("blend", "") // assumes blank region
 	must(err)
 	report("differential blend assuming blank region (region held fade)")
-	_, err = s.LoadModule("blend")
+	_, err = s.LoadComplete("blend")
 	must(err)
 	report("recovery: complete load of blend")
 	_, err = s.Mgr.LoadDifferential("fade", "blend")
@@ -550,7 +548,7 @@ func HazardTable(s *platform.System) *Table {
 // hit rate followed by each member's simulated busy time in femtoseconds.
 func ThroughputTable(st sched.Stats) *Table {
 	t := &Table{ID: "S1", Title: "Scheduler throughput and bitstream-cache behaviour",
-		Columns: []string{"module", "requests", "hits", "misses", "errors", "config time", "work time", "avg latency"}}
+		Columns: []string{"module", "requests", "hits", "misses", "diff", "cmpl", "errors", "config time", "work time", "avg latency", "bytes"}}
 	mods := make([]string, 0, len(st.Modules))
 	for m := range st.Modules {
 		mods = append(mods, m)
@@ -566,14 +564,18 @@ func ThroughputTable(st sched.Stats) *Table {
 			avg = fmtNS(float64(ms.Config+ms.Work) / float64(n))
 		}
 		t.AddRow(mod, fmt.Sprint(ms.Requests), fmt.Sprint(ms.Hits), fmt.Sprint(ms.Misses),
-			fmt.Sprint(ms.Errors), fmtNS(float64(ms.Config)), fmtNS(float64(ms.Work)), avg)
+			fmt.Sprint(ms.Diffs), fmt.Sprint(ms.Completes),
+			fmt.Sprint(ms.Errors), fmtNS(float64(ms.Config)), fmtNS(float64(ms.Work)), avg,
+			fmt.Sprint(ms.Bytes))
 	}
 	avg := "-"
 	if n := st.Hits + st.Misses; n > 0 {
 		avg = fmtNS(float64(st.Config+st.Work) / float64(n))
 	}
 	t.AddRow("total", fmt.Sprint(st.Done), fmt.Sprint(st.Hits), fmt.Sprint(st.Misses),
-		fmt.Sprint(st.Errors), fmtNS(float64(st.Config)), fmtNS(float64(st.Work)), avg)
+		fmt.Sprint(st.DiffLoads), fmt.Sprint(st.CompleteLoads),
+		fmt.Sprint(st.Errors), fmtNS(float64(st.Config)), fmtNS(float64(st.Work)), avg,
+		fmt.Sprint(st.BytesStreamed))
 	t.rawNS = append(t.rawNS, st.HitRate())
 	for i, b := range st.BusyTime {
 		t.Notes = append(t.Notes, fmt.Sprintf("member %d simulated busy time: %s", i, fmtNS(float64(b))))

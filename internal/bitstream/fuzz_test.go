@@ -1,0 +1,148 @@
+package bitstream
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/fabric"
+)
+
+// diffStream builds a sparse multi-run stream of the shape the
+// differential assembler emits: disjoint frame runs, each with its own
+// WCFG/FAR/FDRI sequence, sharing one CRC check.
+func diffStream(tb testing.TB) (*fabric.Device, *Stream) {
+	tb.Helper()
+	dev := fabric.XC2VP7()
+	flen := dev.FrameLen()
+	mk := func(seed uint32) []uint32 {
+		f := make([]uint32, flen)
+		for i := range f {
+			x := seed + uint32(i)*2654435761
+			x ^= x >> 13
+			f[i] = x * 2246822519
+		}
+		return f
+	}
+	runs := []FrameRun{
+		{Start: fabric.FAR{Block: fabric.BlockCLB, Major: 4, Minor: 0}, Frames: [][]uint32{mk(1), mk(2)}},
+		{Start: fabric.FAR{Block: fabric.BlockCLB, Major: 7, Minor: 3}, Frames: [][]uint32{mk(3)}},
+	}
+	s, err := Build(dev, runs)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return dev, s
+}
+
+func encodeWords(words []uint32) []byte {
+	out := make([]byte, 4*len(words))
+	for i, w := range words {
+		binary.BigEndian.PutUint32(out[4*i:], w)
+	}
+	return out
+}
+
+// feed streams bytes word-by-word into a fresh loader, stopping at the
+// first error the way the HWICAP does.
+func feed(dev *fabric.Device, data []byte) *Loader {
+	l := NewLoader(fabric.NewConfigMemory(dev))
+	for i := 0; i+4 <= len(data); i += 4 {
+		if l.WriteWord(binary.BigEndian.Uint32(data[i:])) != nil {
+			break
+		}
+	}
+	return l
+}
+
+// FuzzLoaderDifferentialStream feeds arbitrary byte mutations of a
+// differential-shaped stream into the loader state machine. Whatever the
+// input, the loader must never panic, must keep its first error sticky,
+// and must still load a pristine stream after a reset — a damaged stream
+// can wedge neither the state machine nor the device model.
+func FuzzLoaderDifferentialStream(f *testing.F) {
+	dev, s := diffStream(f)
+	enc := encodeWords(s.Words)
+	f.Add(enc)
+	f.Add(enc[:len(enc)/2]) // truncated mid-FDRI
+	f.Add(enc[:4*3])        // truncated right after sync
+	flipped := append([]byte(nil), enc...)
+	flipped[len(flipped)/3] ^= 0x40 // bit flip inside frame data
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l := feed(dev, data)
+		if err := l.Err(); err != nil {
+			// The first error must be sticky: the loader refuses further
+			// words instead of resynchronizing on garbage.
+			if l.WriteWord(SyncWord) == nil {
+				t.Fatal("loader accepted words after a configuration error")
+			}
+		}
+		// A reset must always recover the state machine for a clean load.
+		l.Reset()
+		if err := l.Err(); err != nil {
+			t.Fatalf("error survived reset: %v", err)
+		}
+		if err := l.Load(s); err != nil {
+			t.Fatalf("pristine stream rejected after fuzzed input: %v", err)
+		}
+		if !l.Done() {
+			t.Fatal("pristine stream did not complete after reset")
+		}
+	})
+}
+
+// TestTruncatedDifferentialNeverCompletes cuts the stream at every word
+// boundary up to the DESYNC command: no truncation may be reported as a
+// completed configuration, and none may panic.
+func TestTruncatedDifferentialNeverCompletes(t *testing.T) {
+	dev, s := diffStream(t)
+	// Locate the DESYNC command value (the word that flags completion).
+	desync := -1
+	for i := 1; i < len(s.Words); i++ {
+		if s.Words[i-1] == type1Header(opWrite, RegCMD, 1) && s.Words[i] == uint32(CmdDesync) {
+			desync = i
+		}
+	}
+	if desync < 0 {
+		t.Fatal("no DESYNC in stream")
+	}
+	enc := encodeWords(s.Words)
+	for cut := 0; cut <= desync; cut++ {
+		l := feed(dev, enc[:4*cut])
+		if l.Done() {
+			t.Fatalf("stream truncated at word %d/%d reported a completed configuration", cut, len(s.Words))
+		}
+	}
+}
+
+// TestBitFlippedDifferentialFailsCRC flips one bit in the frame data ahead
+// of the CRC check: the loader must reject the stream with a CRC error and
+// count it, not silently accept a damaged configuration.
+func TestBitFlippedDifferentialFailsCRC(t *testing.T) {
+	dev, s := diffStream(t)
+	crcHdr := type1Header(opWrite, RegCRC, 1)
+	crcIdx := -1
+	for i, w := range s.Words {
+		if w == crcHdr {
+			crcIdx = i
+		}
+	}
+	if crcIdx < 2 {
+		t.Fatal("no CRC header in stream")
+	}
+	words := append([]uint32(nil), s.Words...)
+	// The CRC header is preceded by [CMD hdr, LFRM]; the word before those
+	// is the last pad-frame word of the final FDRI packet — CRC-covered
+	// frame data.
+	words[crcIdx-3] ^= 1 << 9
+	l := feed(dev, encodeWords(words))
+	if l.Err() == nil {
+		t.Fatal("bit-flipped stream accepted")
+	}
+	if _, _, crcErrs := l.Stats(); crcErrs != 1 {
+		t.Fatalf("crc errors = %d, want 1", crcErrs)
+	}
+	if l.Done() {
+		t.Fatal("bit-flipped stream reported completion")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/hw"
 	"repro/internal/icap"
+	"repro/internal/plan"
 	"repro/internal/sim"
 )
 
@@ -53,6 +54,9 @@ type entry struct {
 	loads  uint64
 }
 
+// diffKey identifies one (assumed → wanted) differential transition.
+type diffKey struct{ from, to string }
+
 // Manager is the run-time reconfiguration manager of one dynamic area.
 type Manager struct {
 	cfg        Config
@@ -61,9 +65,23 @@ type Manager struct {
 	current    string
 	staticHash uint64
 
+	// residentOK marks the tracked resident state as authoritative: the
+	// region's content hash matched a registered module (or the blank
+	// baseline) after the last configuration. Only then may a differential
+	// stream be issued against it.
+	residentOK   bool
+	baselineHash uint64
+
+	// diffs caches assembled differential configurations per transition,
+	// so planning and repeated loads never re-run AssembleDifferential.
+	diffs          map[diffKey]*bitlinker.Result
+	diffAssemblies uint64
+
 	loadCount     uint64
 	loadTime      sim.Time
 	bytesStreamed uint64
+	diffLoads     uint64
+	completeLoads uint64
 	corrupted     bool
 }
 
@@ -75,10 +93,13 @@ func NewManager(cfg Config) (*Manager, error) {
 		return nil, fmt.Errorf("core: incomplete manager configuration")
 	}
 	m := &Manager{
-		cfg:        cfg,
-		modules:    make(map[string]*entry),
-		byHash:     make(map[uint64]*entry),
-		staticHash: cfg.Baseline.StaticHash(cfg.Region),
+		cfg:          cfg,
+		modules:      make(map[string]*entry),
+		byHash:       make(map[uint64]*entry),
+		staticHash:   cfg.Baseline.StaticHash(cfg.Region),
+		baselineHash: cfg.Baseline.RegionHash(cfg.Region),
+		diffs:        make(map[diffKey]*bitlinker.Result),
+		residentOK:   true, // the initial full configuration leaves the region blank
 	}
 	cfg.Loader.OnDone(m.rebind)
 	return m, nil
@@ -116,6 +137,15 @@ func (m *Manager) Modules() []string {
 // Current returns the name of the loaded module ("" when none or unknown).
 func (m *Manager) Current() string { return m.current }
 
+// ResidentState returns the tracked resident module and whether that
+// tracking is authoritative — i.e. the region's post-configuration hash
+// matched the module (or the blank baseline) and the static design is
+// intact. Differential streams may only be planned against an
+// authoritative state.
+func (m *Manager) ResidentState() (string, bool) {
+	return m.current, m.residentOK && !m.corrupted
+}
+
 // Has reports whether a module of that name is registered (a module that
 // does not fit the dynamic area is never registered).
 func (m *Manager) Has(name string) bool {
@@ -134,6 +164,16 @@ func (m *Manager) Stats() (loads uint64, total sim.Time, bytes uint64) {
 	return m.loadCount, m.loadTime, m.bytesStreamed
 }
 
+// LoadKinds reports how many loads streamed a complete configuration and
+// how many streamed a differential one.
+func (m *Manager) LoadKinds() (complete, differential uint64) {
+	return m.completeLoads, m.diffLoads
+}
+
+// DiffAssemblies reports how often AssembleDifferential actually ran —
+// repeated loads of a memoized transition do not grow this counter.
+func (m *Manager) DiffAssemblies() uint64 { return m.diffAssemblies }
+
 // StreamSize returns the size in bytes of a module's cached complete
 // configuration.
 func (m *Manager) StreamSize(name string) (int, error) {
@@ -142,6 +182,56 @@ func (m *Manager) StreamSize(name string) (int, error) {
 		return 0, fmt.Errorf("core: unknown module %s", name)
 	}
 	return e.assembled.Stream.SizeBytes(), nil
+}
+
+// CompleteSize implements plan.Source: byte and frame count of the cached
+// complete configuration.
+func (m *Manager) CompleteSize(name string) (int, int, error) {
+	e, ok := m.modules[name]
+	if !ok {
+		return 0, 0, fmt.Errorf("core: unknown module %s", name)
+	}
+	return e.assembled.Stream.SizeBytes(), e.assembled.Frames, nil
+}
+
+// DifferentialSize implements plan.Source: byte and frame count of the
+// (from → to) differential stream. The assembled result is memoized, so
+// planning shares the cache with the load path.
+func (m *Manager) DifferentialSize(from, to string) (int, int, error) {
+	res, err := m.differential(from, to)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Stream.SizeBytes(), res.Frames, nil
+}
+
+// differential returns the cached differential configuration for the
+// transition, assembling it at most once per (from, to) pair.
+func (m *Manager) differential(from, to string) (*bitlinker.Result, error) {
+	e, ok := m.modules[to]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown module %s", to)
+	}
+	base := m.cfg.Baseline
+	if from != "" {
+		ae, ok := m.modules[from]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown assumed module %s", from)
+		}
+		base = ae.target
+	}
+	key := diffKey{from: from, to: to}
+	if res, ok := m.diffs[key]; ok {
+		return res, nil
+	}
+	placed := bitlinker.Placed{C: e.comp, ColOff: m.cfg.Region.W - e.comp.W}
+	m.diffAssemblies++
+	res, err := m.cfg.Assembler.AssembleDifferential(base, placed)
+	if err != nil {
+		return nil, err
+	}
+	m.diffs[key] = res
+	return res, nil
 }
 
 // Load reconfigures the dynamic area with the named module's complete
@@ -154,35 +244,60 @@ func (m *Manager) Load(name string) (sim.Time, error) {
 	if !ok {
 		return 0, fmt.Errorf("core: unknown module %s", name)
 	}
-	if m.current == name && !m.corrupted {
+	// The shortcut requires an authoritative resident state: after an
+	// aborted stream m.current may still name the old module while the
+	// region content is unknown — then the module must really be loaded.
+	if m.current == name && m.residentOK && !m.corrupted {
 		return 0, nil
 	}
-	return m.stream(e.assembled.Stream)
+	return m.stream(e.assembled.Stream, false)
 }
 
-// LoadDifferential assembles and loads a differential configuration for the
+// LoadDifferential loads the cached differential configuration for the
 // named module, valid only if the region currently holds assumed's
 // configuration. This is the smaller/faster stream of §2.2 — and the hazard
-// demonstration when assumed does not match reality.
+// demonstration when assumed does not match reality. Production code goes
+// through LoadPlanned, which verifies the assumption before streaming.
 func (m *Manager) LoadDifferential(name, assumed string) (sim.Time, error) {
-	e, ok := m.modules[name]
-	if !ok {
-		return 0, fmt.Errorf("core: unknown module %s", name)
-	}
-	base := m.cfg.Baseline
-	if assumed != "" {
-		ae, ok := m.modules[assumed]
-		if !ok {
-			return 0, fmt.Errorf("core: unknown assumed module %s", assumed)
-		}
-		base = ae.target
-	}
-	placed := bitlinker.Placed{C: e.comp, ColOff: m.cfg.Region.W - e.comp.W}
-	res, err := m.cfg.Assembler.AssembleDifferential(base, placed)
+	res, err := m.differential(assumed, name)
 	if err != nil {
 		return 0, err
 	}
-	return m.stream(res.Stream)
+	return m.stream(res.Stream, true)
+}
+
+// LoadPlanned executes a plan produced by plan.Planner. The safety gate of
+// §2.2 lives here: a differential stream is only issued when the plan's
+// assumed from-state still matches the authoritative resident state —
+// otherwise LoadPlanned refuses without touching the ICAP, and the caller
+// must re-plan against the current state.
+func (m *Manager) LoadPlanned(p plan.Plan) (sim.Time, error) {
+	e, ok := m.modules[p.Module]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown module %s", p.Module)
+	}
+	resident, authoritative := m.ResidentState()
+	switch p.Kind {
+	case plan.StreamNone:
+		if !authoritative || resident != p.Module {
+			return 0, fmt.Errorf("core: stale plan: no-op for %s but resident state is %q (authoritative=%v)",
+				p.Module, resident, authoritative)
+		}
+		return 0, nil
+	case plan.StreamDifferential:
+		if !authoritative || resident != p.From {
+			return 0, fmt.Errorf("core: stale plan: differential %q -> %s but resident state is %q (authoritative=%v)",
+				p.From, p.Module, resident, authoritative)
+		}
+		res, err := m.differential(p.From, p.Module)
+		if err != nil {
+			return 0, err
+		}
+		return m.stream(res.Stream, true)
+	case plan.StreamComplete:
+		return m.stream(e.assembled.Stream, false)
+	}
+	return 0, fmt.Errorf("core: unknown stream kind %v", p.Kind)
 }
 
 // LoadNaive streams a naively assembled configuration (zeros outside the
@@ -197,12 +312,12 @@ func (m *Manager) LoadNaive(name string) (sim.Time, error) {
 	if err != nil {
 		return 0, err
 	}
-	return m.stream(res.Stream)
+	return m.stream(res.Stream, false)
 }
 
 // stream drives the words through the HWICAP with CPU stores and checks the
 // completion status.
-func (m *Manager) stream(s *bitstream.Stream) (sim.Time, error) {
+func (m *Manager) stream(s *bitstream.Stream, differential bool) (sim.Time, error) {
 	c := m.cfg.CPU
 	start := m.cfg.Kernel.Now()
 	for _, w := range s.Words {
@@ -219,10 +334,19 @@ func (m *Manager) stream(s *bitstream.Stream) (sim.Time, error) {
 	m.loadCount++
 	m.loadTime += elapsed
 	m.bytesStreamed += uint64(s.SizeBytes())
+	if differential {
+		m.diffLoads++
+	} else {
+		m.completeLoads++
+	}
 	if err != nil {
+		// The sequence never completed: frames may have been committed
+		// without a rebind, so the tracked state is no longer trustworthy.
+		m.residentOK = false
 		return elapsed, err
 	}
 	if status&icap.StatError != 0 {
+		m.residentOK = false
 		return elapsed, fmt.Errorf("core: configuration error reported by HWICAP")
 	}
 	return elapsed, nil
@@ -236,11 +360,20 @@ func (m *Manager) rebind() {
 	if e, ok := m.byHash[h]; ok {
 		e.loads++
 		m.current = e.comp.Name
+		m.residentOK = true
 		core := e.factory()
 		core.Reset()
 		m.cfg.Bind(core)
-	} else {
+	} else if h == m.baselineHash {
+		// The region went back to the blank baseline: tracked and known.
 		m.current = ""
+		m.residentOK = true
+		m.cfg.Bind(hw.NewBrokenCore(h))
+	} else {
+		// Unrecognized content (e.g. a differential stream applied against
+		// the wrong state): the resident state is no longer authoritative.
+		m.current = ""
+		m.residentOK = false
 		m.cfg.Bind(hw.NewBrokenCore(h))
 	}
 	if m.cfg.ConfigMem.StaticHash(m.cfg.Region) != m.staticHash {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/hw"
 	"repro/internal/icap"
+	"repro/internal/plan"
 	"repro/internal/sim"
 )
 
@@ -252,5 +253,156 @@ func rigWithState(t *testing.T, cm *fabric.ConfigMemory) (*Manager, *fabric.Conf
 func TestIncompleteConfigRejected(t *testing.T) {
 	if _, err := NewManager(Config{}); err == nil {
 		t.Fatal("empty config accepted")
+	}
+}
+
+// TestDifferentialAssemblyMemoized is the regression test for the
+// (assumed, name) differential cache: repeated loads of the same
+// transition must not re-run AssembleDifferential.
+func TestDifferentialAssemblyMemoized(t *testing.T) {
+	mgr, _, region, _ := rig(t)
+	if err := mgr.Register(testComponent("alpha", region), func() hw.Core { return &testCore{id: 1} }); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Register(testComponent("beta", region), func() hw.Core { return &testCore{id: 2} }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Load("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := mgr.LoadDifferential("beta", "alpha"); err != nil {
+			t.Fatalf("round %d alpha->beta: %v", i, err)
+		}
+		if _, err := mgr.LoadDifferential("alpha", "beta"); err != nil {
+			t.Fatalf("round %d beta->alpha: %v", i, err)
+		}
+	}
+	if n := mgr.DiffAssemblies(); n != 2 {
+		t.Fatalf("AssembleDifferential ran %d times for 10 loads of 2 transitions, want 2", n)
+	}
+	// Size queries share the same cache.
+	if _, _, err := mgr.DifferentialSize("alpha", "beta"); err != nil {
+		t.Fatal(err)
+	}
+	if n := mgr.DiffAssemblies(); n != 2 {
+		t.Fatalf("DifferentialSize re-assembled: %d assemblies", n)
+	}
+}
+
+// TestPlannedLoadHazardGate is the §2.2 safety property: a differential
+// plan whose assumed from-state no longer matches the authoritative
+// resident state is refused without any ICAP traffic, and a non-
+// authoritative state can never yield a differential plan at all.
+func TestPlannedLoadHazardGate(t *testing.T) {
+	mgr, _, region, _ := rig(t)
+	// alpha is wider than beta/gamma, so a differential for a narrow module
+	// that wrongly assumes a blank region leaves alpha's extra columns
+	// stale — the poisoning step below depends on that asymmetry.
+	for i, c := range []struct {
+		name string
+		w    int
+	}{{"alpha", 12}, {"beta", 6}, {"gamma", 6}} {
+		id := uint64(i + 1)
+		if err := mgr.Register(testComponentW(c.name, region, c.w), func() hw.Core { return &testCore{id: id} }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	planner := plan.New(mgr)
+	if _, err := mgr.Load("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	resident, ok := mgr.ResidentState()
+	if resident != "alpha" || !ok {
+		t.Fatalf("resident state = (%q, %v), want authoritative alpha", resident, ok)
+	}
+	// Plan a differential alpha -> beta, then make it stale.
+	p, err := planner.Plan(resident, ok, "beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != plan.StreamDifferential || p.From != "alpha" {
+		t.Fatalf("plan %+v, want differential from alpha", p)
+	}
+	if _, err := mgr.Load("gamma"); err != nil {
+		t.Fatal(err)
+	}
+	loads, _, bytes := mgr.Stats()
+	if _, err := mgr.LoadPlanned(p); err == nil {
+		t.Fatal("stale differential plan was issued")
+	}
+	if l2, _, b2 := mgr.Stats(); l2 != loads || b2 != bytes {
+		t.Fatalf("stale plan touched the ICAP: loads %d->%d bytes %d->%d", loads, l2, bytes, b2)
+	}
+	if cur := mgr.Current(); cur != "gamma" {
+		t.Fatalf("region binds %q after refused plan, want gamma", cur)
+	}
+	// Re-planning against the current state succeeds and loads.
+	resident, ok = mgr.ResidentState()
+	p2, err := planner.Plan(resident, ok, "beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.LoadPlanned(p2); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Current() != "beta" || mgr.Corrupted() {
+		t.Fatal("re-planned differential did not bind cleanly")
+	}
+
+	// Poison the tracked state with the legacy hazard API: a differential
+	// for narrow beta that wrongly assumes a blank region while wide alpha
+	// is resident leaves unrecognized region content.
+	if _, err := mgr.Load("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.LoadDifferential("beta", ""); err != nil {
+		t.Fatal(err)
+	}
+	resident, ok = mgr.ResidentState()
+	if ok {
+		t.Fatalf("resident state (%q) still authoritative after wrong-assumption differential", resident)
+	}
+	p3, err := planner.Plan(resident, ok, "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Kind != plan.StreamComplete {
+		t.Fatalf("planner offered %v against non-authoritative state, must be complete", p3.Kind)
+	}
+	if _, err := mgr.LoadPlanned(p3); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Current() != "alpha" {
+		t.Fatal("complete recovery load did not bind")
+	}
+	if resident, ok = mgr.ResidentState(); !ok || resident != "alpha" {
+		t.Fatalf("resident state = (%q, %v) after recovery, want authoritative alpha", resident, ok)
+	}
+}
+
+// TestStaleNoOpPlanRefused: even a no-op plan is verified against the
+// resident state at issue time.
+func TestStaleNoOpPlanRefused(t *testing.T) {
+	mgr, _, region, _ := rig(t)
+	if err := mgr.Register(testComponent("alpha", region), func() hw.Core { return &testCore{id: 1} }); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Register(testComponent("beta", region), func() hw.Core { return &testCore{id: 2} }); err != nil {
+		t.Fatal(err)
+	}
+	planner := plan.New(mgr)
+	if _, err := mgr.Load("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := planner.Plan("alpha", true, "alpha")
+	if err != nil || p.Kind != plan.StreamNone {
+		t.Fatalf("plan %+v err %v, want no-op", p, err)
+	}
+	if _, err := mgr.Load("beta"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.LoadPlanned(p); err == nil {
+		t.Fatal("stale no-op plan accepted while beta is resident")
 	}
 }

@@ -1,0 +1,211 @@
+// Package plan chooses the cheapest safe reconfiguration stream for a
+// dynamic area. The paper's §2.2 observation is that a differential partial
+// bitstream — only the frames that differ from what is resident — is far
+// smaller and faster through the HWICAP than a complete configuration, but
+// is correct only when the assumed resident state matches reality. The
+// planner encodes that rule as a type: a Plan names the stream kind AND the
+// assumed from-state, so the load path can verify the assumption at issue
+// time, making the stale-differential hazard impossible by construction.
+//
+// Transition costs are memoized per (from, to) module pair, so repeated
+// planning over a long-running workload never re-assembles a differential,
+// and a per-byte time model (calibrated from observed loads) turns stream
+// sizes into estimated configuration times for cost-aware placement.
+package plan
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// StreamKind is the kind of configuration stream a plan issues.
+type StreamKind int
+
+const (
+	// StreamNone: the wanted module is already resident — no ICAP traffic.
+	StreamNone StreamKind = iota
+	// StreamDifferential: only the frames that differ from the (verified)
+	// resident state are written. Smallest and fastest, state-dependent.
+	StreamDifferential
+	// StreamComplete: every region frame is written. Correct regardless of
+	// prior state — the worst-case fallback.
+	StreamComplete
+)
+
+// String returns the kind as a short stable label.
+func (k StreamKind) String() string {
+	switch k {
+	case StreamNone:
+		return "none"
+	case StreamDifferential:
+		return "differential"
+	case StreamComplete:
+		return "complete"
+	}
+	return fmt.Sprintf("StreamKind(%d)", int(k))
+}
+
+// Plan is one chosen reconfiguration action: bring Module into the region,
+// using the given stream kind. For a differential stream, From records the
+// assumed resident state ("" = the blank post-boot baseline) that the load
+// path must re-verify before streaming.
+type Plan struct {
+	Module string
+	From   string
+	Kind   StreamKind
+	// Bytes and Frames size the chosen stream (0 for StreamNone).
+	Bytes  int
+	Frames int
+	// Est is the estimated configuration time under the planner's
+	// calibrated per-byte model (0 for StreamNone).
+	Est sim.Time
+}
+
+// Source sizes the streams a planner may choose between. *core.Manager
+// implements it; both size queries are memoized below the interface, so
+// repeated planning is cheap.
+type Source interface {
+	// Has reports whether the module is registered.
+	Has(name string) bool
+	// CompleteSize returns the byte and frame count of the module's
+	// complete configuration stream.
+	CompleteSize(name string) (bytes, frames int, err error)
+	// DifferentialSize returns the byte and frame count of the
+	// differential stream for the (from → to) transition. from == ""
+	// means the blank baseline. It errors when no differential exists.
+	DifferentialSize(from, to string) (bytes, frames int, err error)
+}
+
+// DefaultFsPerByte seeds the cost model: femtoseconds of configuration time
+// per streamed byte, before any load has been observed. The figure matches
+// the measured HWICAP rate of the 32-bit system (a 367 684 B complete
+// stream in 7.814 ms).
+const DefaultFsPerByte = 21_250_000
+
+type pairKey struct{ from, to string }
+
+type pairEntry struct {
+	bytes, frames int
+	ok            bool // false: no differential exists for this pair
+}
+
+// Planner chooses streams over one dynamic area. Safe for concurrent use.
+type Planner struct {
+	src Source
+
+	mu        sync.Mutex
+	complete  map[string]pairEntry // complete stream sizes by module
+	pairs     map[pairKey]pairEntry
+	fsPerByte float64
+	observed  uint64
+}
+
+// New returns a planner over the stream source.
+func New(src Source) *Planner {
+	return &Planner{
+		src:       src,
+		complete:  make(map[string]pairEntry),
+		pairs:     make(map[pairKey]pairEntry),
+		fsPerByte: DefaultFsPerByte,
+	}
+}
+
+// Plan returns the cheapest safe stream that makes want resident, given the
+// tracked resident state. authoritative reports whether the tracked state
+// is known to match the device (the manager's region-hash verification);
+// when it is not, only the state-independent complete stream is safe.
+func (p *Planner) Plan(resident string, authoritative bool, want string) (Plan, error) {
+	if !p.src.Has(want) {
+		return Plan{}, fmt.Errorf("plan: unknown module %q", want)
+	}
+	if authoritative && resident == want {
+		return Plan{Module: want, From: resident, Kind: StreamNone}, nil
+	}
+	cb, cf, err := p.completeSize(want)
+	if err != nil {
+		return Plan{}, err
+	}
+	full := Plan{Module: want, Kind: StreamComplete, Bytes: cb, Frames: cf, Est: p.estimate(cb)}
+	if !authoritative {
+		return full, nil
+	}
+	// Safety gate: a differential is only offered against an authoritative
+	// resident state, and the chosen From is carried in the plan so the
+	// manager re-verifies it at load time.
+	db, df, ok := p.pairSize(resident, want)
+	if !ok || db >= cb {
+		return full, nil
+	}
+	return Plan{Module: want, From: resident, Kind: StreamDifferential,
+		Bytes: db, Frames: df, Est: p.estimate(db)}, nil
+}
+
+// Observe calibrates the per-byte cost model with a measured load. The
+// estimate converges as an exponential moving average over observed rates.
+func (p *Planner) Observe(bytes int, elapsed sim.Time) {
+	if bytes <= 0 || elapsed <= 0 {
+		return
+	}
+	rate := float64(elapsed) / float64(bytes)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.observed == 0 {
+		p.fsPerByte = rate
+	} else {
+		p.fsPerByte = 0.75*p.fsPerByte + 0.25*rate
+	}
+	p.observed++
+}
+
+// Pairs reports how many (from, to) transitions have been memoized.
+func (p *Planner) Pairs() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pairs)
+}
+
+func (p *Planner) estimate(bytes int) sim.Time {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return sim.Time(p.fsPerByte * float64(bytes))
+}
+
+func (p *Planner) completeSize(name string) (int, int, error) {
+	p.mu.Lock()
+	if e, ok := p.complete[name]; ok {
+		p.mu.Unlock()
+		return e.bytes, e.frames, nil
+	}
+	p.mu.Unlock()
+	b, f, err := p.src.CompleteSize(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	p.mu.Lock()
+	p.complete[name] = pairEntry{bytes: b, frames: f, ok: true}
+	p.mu.Unlock()
+	return b, f, nil
+}
+
+// pairSize memoizes the differential size table. A pair with no
+// differential (assembly error) is memoized as absent, so the planner asks
+// the assembler at most once per transition.
+func (p *Planner) pairSize(from, to string) (int, int, bool) {
+	key := pairKey{from, to}
+	p.mu.Lock()
+	if e, ok := p.pairs[key]; ok {
+		p.mu.Unlock()
+		return e.bytes, e.frames, e.ok
+	}
+	p.mu.Unlock()
+	e := pairEntry{}
+	if b, f, err := p.src.DifferentialSize(from, to); err == nil {
+		e = pairEntry{bytes: b, frames: f, ok: true}
+	}
+	p.mu.Lock()
+	p.pairs[key] = e
+	p.mu.Unlock()
+	return e.bytes, e.frames, e.ok
+}

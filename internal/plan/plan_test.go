@@ -1,0 +1,136 @@
+package plan
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// fakeSource is an in-memory stream catalog with call counting, so tests
+// can assert the planner memoizes instead of re-asking.
+type fakeSource struct {
+	complete map[string]int    // module -> bytes
+	diff     map[[2]string]int // (from,to) -> bytes
+	calls    map[string]int    // method+args -> count
+}
+
+func newFakeSource() *fakeSource {
+	return &fakeSource{
+		complete: map[string]int{"a": 1000, "b": 1000, "c": 1000},
+		diff: map[[2]string]int{
+			{"", "a"}:  200,
+			{"", "b"}:  300,
+			{"a", "b"}: 120,
+			{"b", "a"}: 130,
+			{"a", "c"}: 2000, // pathological: differential bigger than complete
+		},
+		calls: make(map[string]int),
+	}
+}
+
+func (f *fakeSource) Has(name string) bool { _, ok := f.complete[name]; return ok }
+
+func (f *fakeSource) CompleteSize(name string) (int, int, error) {
+	f.calls["complete:"+name]++
+	b, ok := f.complete[name]
+	if !ok {
+		return 0, 0, fmt.Errorf("unknown %s", name)
+	}
+	return b, b / 100, nil
+}
+
+func (f *fakeSource) DifferentialSize(from, to string) (int, int, error) {
+	f.calls[fmt.Sprintf("diff:%s->%s", from, to)]++
+	b, ok := f.diff[[2]string{from, to}]
+	if !ok {
+		return 0, 0, fmt.Errorf("no differential %s->%s", from, to)
+	}
+	return b, b / 100, nil
+}
+
+func TestPlanChoosesCheapestSafeStream(t *testing.T) {
+	src := newFakeSource()
+	p := New(src)
+
+	cases := []struct {
+		resident string
+		auth     bool
+		want     string
+		kind     StreamKind
+		bytes    int
+	}{
+		{"a", true, "a", StreamNone, 0},           // already resident
+		{"", true, "a", StreamDifferential, 200},  // diff against blank baseline
+		{"a", true, "b", StreamDifferential, 120}, // cheapest transition
+		{"a", false, "b", StreamComplete, 1000},   // not authoritative: gate forces complete
+		{"a", false, "a", StreamComplete, 1000},   // even "same module" is not trusted
+		{"a", true, "c", StreamComplete, 1000},    // differential larger than complete
+		{"b", true, "c", StreamComplete, 1000},    // no differential for this pair
+	}
+	for _, tc := range cases {
+		got, err := p.Plan(tc.resident, tc.auth, tc.want)
+		if err != nil {
+			t.Fatalf("Plan(%q,%v,%q): %v", tc.resident, tc.auth, tc.want, err)
+		}
+		if got.Kind != tc.kind || got.Bytes != tc.bytes || got.Module != tc.want {
+			t.Errorf("Plan(%q,%v,%q) = %+v, want kind %v bytes %d",
+				tc.resident, tc.auth, tc.want, got, tc.kind, tc.bytes)
+		}
+		if got.Kind == StreamDifferential && got.From != tc.resident {
+			t.Errorf("differential plan %+v does not carry the assumed from-state %q", got, tc.resident)
+		}
+	}
+	if _, err := p.Plan("", true, "nope"); err == nil {
+		t.Fatal("unknown module planned")
+	}
+}
+
+func TestPlanMemoizesSizes(t *testing.T) {
+	src := newFakeSource()
+	p := New(src)
+	for i := 0; i < 10; i++ {
+		if _, err := p.Plan("a", true, "b"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Plan("b", true, "c"); err != nil { // pair with no differential
+			t.Fatal(err)
+		}
+	}
+	if n := src.calls["diff:a->b"]; n != 1 {
+		t.Errorf("differential a->b sized %d times, want 1 (memoized)", n)
+	}
+	if n := src.calls["diff:b->c"]; n != 1 {
+		t.Errorf("absent differential b->c probed %d times, want 1 (negative result memoized)", n)
+	}
+	if n := src.calls["complete:b"] + src.calls["complete:c"]; n != 2 {
+		t.Errorf("complete sizes asked %d times, want 2", n)
+	}
+	if p.Pairs() != 2 {
+		t.Errorf("memoized pairs = %d, want 2", p.Pairs())
+	}
+}
+
+func TestObserveCalibratesEstimate(t *testing.T) {
+	src := newFakeSource()
+	p := New(src)
+	before, err := p.Plan("a", true, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Est != sim.Time(DefaultFsPerByte*before.Bytes) {
+		t.Errorf("uncalibrated estimate %v, want default %v", before.Est, sim.Time(DefaultFsPerByte*before.Bytes))
+	}
+	// Observe a load twice as slow as the default model.
+	p.Observe(1000, sim.Time(2*DefaultFsPerByte*1000))
+	after, err := p.Plan("a", true, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Est <= before.Est {
+		t.Errorf("estimate did not rise after a slow observation: %v -> %v", before.Est, after.Est)
+	}
+	// Degenerate observations are ignored.
+	p.Observe(0, 100)
+	p.Observe(100, 0)
+}

@@ -1,16 +1,39 @@
 package platform
 
-import "repro/internal/sim"
+import (
+	"fmt"
 
-// ExecReport describes one task execution on a system: whether the
-// requested module was already resident in the dynamic area (a bitstream
-// cache hit, no ICAP traffic) and the simulated time split between
-// reconfiguration and useful work.
+	"repro/internal/plan"
+	"repro/internal/sim"
+)
+
+// ConfigReport describes one reconfiguration of the dynamic area: which
+// stream kind the planner chose (no-op, differential or complete), how many
+// bytes went through the HWICAP and how long the configuration took in
+// simulated time.
+type ConfigReport struct {
+	Module string
+	Kind   plan.StreamKind
+	Bytes  int
+	Frames int
+	Time   sim.Time
+}
+
+// ExecReport describes one task execution on a system: how the requested
+// module got into the dynamic area (StreamNone is a bitstream cache hit —
+// no ICAP traffic) and the simulated time split between reconfiguration and
+// useful work.
 type ExecReport struct {
-	Module   string
+	Module string
+	// CacheHit reports that the module was already resident (Kind ==
+	// plan.StreamNone).
 	CacheHit bool
-	Config   sim.Time
-	Work     sim.Time
+	// Kind is the configuration stream the load path issued.
+	Kind plan.StreamKind
+	// BytesStreamed counts the configuration bytes through the HWICAP.
+	BytesStreamed int
+	Config        sim.Time
+	Work          sim.Time
 }
 
 // Latency is the simulated time the request occupied the system.
@@ -38,6 +61,8 @@ type Status struct {
 	Loads         uint64
 	LoadTime      sim.Time
 	StreamedBytes uint64
+	CompleteLoads uint64
+	DiffLoads     uint64
 	Corrupted     bool
 }
 
@@ -47,28 +72,91 @@ func (s *System) Status() Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	loads, loadTime, bytes := s.Mgr.Stats()
+	complete, diff := s.Mgr.LoadKinds()
 	return Status{
 		Resident:      s.Mgr.Current(),
 		Now:           s.K.Now(),
 		Loads:         loads,
 		LoadTime:      loadTime,
 		StreamedBytes: bytes,
+		CompleteLoads: complete,
+		DiffLoads:     diff,
 		Corrupted:     s.Mgr.Corrupted(),
 	}
 }
 
-// Execute reconfigures the dynamic area with the named module (a no-op
-// ICAP-wise when it is already resident) and then runs fn, which must
-// drive this system only. All simulated activity is serialized under the
-// system lock, so a pool of systems can be executed from concurrent
-// goroutines as long as each call names the system it drives.
+// SetPlanning toggles the differential-stream planner for this system.
+// With planning off, every cache miss streams the complete configuration —
+// the pre-planner behaviour, kept as the comparison baseline.
+func (s *System) SetPlanning(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.planning = on
+}
+
+// PlanFor returns the stream the system would issue right now to make the
+// module resident, without loading anything. Safe to call while another
+// goroutine is inside Execute; cost-aware schedulers use it to compare idle
+// members.
+func (s *System) PlanFor(module string) (plan.Plan, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.planFor(module, s.planning)
+}
+
+// planFor chooses the stream under the system lock. With usePlanner false
+// the authoritative flag is narrowed so only the no-op (already resident)
+// and complete streams remain — the state-independent baseline.
+func (s *System) planFor(module string, usePlanner bool) (plan.Plan, error) {
+	resident, authoritative := s.Mgr.ResidentState()
+	if !usePlanner {
+		authoritative = authoritative && resident == module
+	}
+	return s.Planner.Plan(resident, authoritative, module)
+}
+
+// loadWith plans and executes one reconfiguration. Must run under the
+// system lock (or on a single-threaded system): planning and loading are
+// one atomic step, so the plan's assumed from-state cannot go stale between
+// the choice and the stream — the manager still re-verifies it.
+func (s *System) loadWith(name string, usePlanner bool) (ConfigReport, error) {
+	p, err := s.planFor(name, usePlanner)
+	if err != nil {
+		return ConfigReport{Module: name}, err
+	}
+	t, err := s.Mgr.LoadPlanned(p)
+	r := ConfigReport{Module: name, Kind: p.Kind, Bytes: p.Bytes, Frames: p.Frames, Time: t}
+	if err != nil {
+		return r, err
+	}
+	if s.Mgr.Current() != name {
+		return r, fmt.Errorf("platform: after loading %s the region binds %q", name, s.Mgr.Current())
+	}
+	if p.Kind != plan.StreamNone {
+		s.Planner.Observe(p.Bytes, t)
+	}
+	return r, nil
+}
+
+// Execute reconfigures the dynamic area with the named module (planner
+// chooses the cheapest safe stream; no ICAP traffic when it is already
+// resident) and then runs fn, which must drive this system only. All
+// simulated activity is serialized under the system lock, so a pool of
+// systems can be executed from concurrent goroutines as long as each call
+// names the system it drives.
 func (s *System) Execute(module string, fn func() error) (ExecReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	r := ExecReport{Module: module}
-	r.CacheHit = s.Mgr.Current() == module && !s.Mgr.Corrupted()
-	cfg, err := s.LoadModule(module)
-	r.Config = cfg
+	cfg, err := s.loadWith(module, s.planning)
+	r := ExecReport{
+		Module: module,
+		// A failed load is never a cache hit: the zero ConfigReport of a
+		// planning error carries StreamNone without meaning it.
+		CacheHit:      err == nil && cfg.Kind == plan.StreamNone,
+		Kind:          cfg.Kind,
+		BytesStreamed: cfg.Bytes,
+		Config:        cfg.Time,
+	}
 	if err != nil {
 		return r, err
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dock"
 	"repro/internal/hw"
+	"repro/internal/plan"
 	"repro/internal/sim"
 )
 
@@ -61,28 +62,73 @@ func TestModuleLoadBindsCore(t *testing.T) {
 	if s.Core() != nil {
 		t.Fatal("a core is bound before any configuration")
 	}
-	cfgTime, err := s.LoadModule("passthrough")
+	rep, err := s.LoadComplete("passthrough")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfgTime == 0 {
-		t.Error("configuration took no simulated time")
+	if rep.Time == 0 || rep.Bytes == 0 || rep.Kind != plan.StreamComplete {
+		t.Errorf("complete configuration report %+v, want nonzero complete stream", rep)
 	}
 	if s.Core() == nil || s.Core().Name() != "passthrough" {
 		t.Fatalf("bound core = %v", s.Core())
 	}
 	// Reconfiguration times through the OPB HWICAP are in the
 	// millisecond range for a region of this size.
-	if cfgTime < sim.Millisecond || cfgTime > 500*sim.Millisecond {
-		t.Errorf("config time %v outside the plausible HWICAP range", cfgTime)
+	if rep.Time < sim.Millisecond || rep.Time > 500*sim.Millisecond {
+		t.Errorf("config time %v outside the plausible HWICAP range", rep.Time)
 	}
 	// Loading the same module again is free.
 	again, err := s.LoadModule("passthrough")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if again != 0 {
-		t.Error("reloading the current module should be a no-op")
+	if again.Time != 0 || again.Kind != plan.StreamNone {
+		t.Errorf("reloading the current module should be a no-op, got %+v", again)
+	}
+}
+
+// TestPlannedLoadUsesDifferential: with planning on (the default), a module
+// swap against an authoritative resident state streams the smaller
+// differential configuration, and the first load from the blank baseline is
+// a differential against blank — both strictly smaller than the complete
+// stream.
+func TestPlannedLoadUsesDifferential(t *testing.T) {
+	s, err := NewSys32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	complete, _, err := s.Mgr.CompleteSize("brightness")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.LoadModule("brightness")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Kind != plan.StreamDifferential || first.Bytes >= complete {
+		t.Errorf("first load %+v, want differential below the %d B complete stream", first, complete)
+	}
+	if s.Mgr.Current() != "brightness" {
+		t.Fatalf("bound %q after planned load", s.Mgr.Current())
+	}
+	swap, err := s.LoadModule("blend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swap.Kind != plan.StreamDifferential || swap.Bytes == 0 {
+		t.Errorf("swap %+v, want differential stream", swap)
+	}
+	if s.Mgr.Current() != "blend" || s.Mgr.Corrupted() {
+		t.Fatal("planned differential swap did not bind cleanly")
+	}
+	// With planning disabled the same swap pays the complete stream.
+	s.SetPlanning(false)
+	back, err := s.LoadModule("brightness")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != plan.StreamComplete || back.Bytes != complete {
+		t.Errorf("planning off: %+v, want the %d B complete stream", back, complete)
 	}
 }
 
@@ -191,7 +237,7 @@ func TestDifferentialFasterThanComplete(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := s.LoadModule("brightness")
+	full, err := s.LoadComplete("brightness")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,8 +250,8 @@ func TestDifferentialFasterThanComplete(t *testing.T) {
 	if s.Mgr.Current() != "blend" {
 		t.Fatal("differential load did not bind blend")
 	}
-	if diff >= full {
-		t.Errorf("differential config (%v) not faster than complete (%v)", diff, full)
+	if diff >= full.Time {
+		t.Errorf("differential config (%v) not faster than complete (%v)", diff, full.Time)
 	}
 }
 

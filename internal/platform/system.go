@@ -1,7 +1,6 @@
 package platform
 
 import (
-	"fmt"
 	"sync"
 
 	"repro/internal/bitlinker"
@@ -17,6 +16,7 @@ import (
 	"repro/internal/icap"
 	"repro/internal/intc"
 	"repro/internal/memctl"
+	"repro/internal/plan"
 	"repro/internal/sim"
 	"repro/internal/uart"
 )
@@ -50,6 +50,13 @@ type System struct {
 	CM     *fabric.ConfigMemory
 	ICAP   *icap.HWICAP
 	Mgr    *core.Manager
+
+	// Planner chooses the cheapest safe configuration stream for every
+	// module transition (differential when the resident state is
+	// authoritative, complete otherwise); planning toggles whether the
+	// load path consults it.
+	Planner  *plan.Planner
+	planning bool
 
 	// Skipped lists modules that do not fit the dynamic area (SHA-1 on the
 	// 32-bit system).
@@ -235,6 +242,8 @@ func build(name string, is64 bool, tm Timing) (*System, error) {
 			return nil, err
 		}
 	}
+	s.Planner = plan.New(s.Mgr)
+	s.planning = true
 	return s, nil
 }
 
@@ -318,17 +327,24 @@ func (s *System) Core() hw.Core {
 	return s.Dock32.Core()
 }
 
-// LoadModule reconfigures the dynamic area with the named module and
-// returns the configuration time.
-func (s *System) LoadModule(name string) (sim.Time, error) {
-	t, err := s.Mgr.Load(name)
-	if err != nil {
-		return t, err
-	}
-	if s.Mgr.Current() != name {
-		return t, fmt.Errorf("platform: after loading %s the region binds %q", name, s.Mgr.Current())
-	}
-	return t, nil
+// LoadModule reconfigures the dynamic area with the named module, letting
+// the planner choose the cheapest safe stream (a no-op when resident, a
+// differential transition when the tracked state is authoritative, the
+// complete stream otherwise), and reports what was streamed. It takes the
+// system lock, so Status/Resident/PlanFor stay safe concurrently.
+func (s *System) LoadModule(name string) (ConfigReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loadWith(name, s.planning)
+}
+
+// LoadComplete reconfigures the dynamic area with the module's complete
+// configuration stream regardless of planning mode — the state-independent
+// worst case (still a no-op when the module is already resident).
+func (s *System) LoadComplete(name string) (ConfigReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loadWith(name, false)
 }
 
 // WriteMem loads bytes into external memory functionally (test and

@@ -71,6 +71,15 @@ func (p *Pool) Members() []*Member { return p.members }
 // Size returns the number of platforms.
 func (p *Pool) Size() int { return len(p.members) }
 
+// SetPlanning toggles the differential-stream planner on every member:
+// off reproduces the complete-only baseline, on lets each member's load
+// path pick the cheapest safe stream per transition.
+func (p *Pool) SetPlanning(on bool) {
+	for _, m := range p.members {
+		m.Sys.SetPlanning(on)
+	}
+}
+
 // Supports reports whether at least one member can host the module.
 func (p *Pool) Supports(module string) bool {
 	for _, m := range p.members {

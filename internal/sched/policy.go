@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/plan"
+)
+
+// Candidate is one idle pool member a placement policy may pick for a
+// request. The scheduler fills it under its lock from the member's live
+// state, including the stream the member's planner would issue for the
+// requested module.
+type Candidate struct {
+	// Index identifies the member within the scheduler.
+	Index int
+	// Resident is the module currently configured on the member.
+	Resident string
+	// LastUsed is the dispatch tick of the member's most recent
+	// assignment; smaller means less recently used.
+	LastUsed uint64
+	// Plan is the stream the member would issue to host the module
+	// (StreamNone when the module is already resident). Zero-valued when
+	// planning failed — treated as a worst-case complete stream.
+	Plan plan.Plan
+	// PlanOK reports whether Plan is valid.
+	PlanOK bool
+}
+
+// Policy chooses which idle member hosts a request on a bitstream-cache
+// miss; the scheduler dispatches cache hits (an idle member with the
+// module resident) directly without consulting the policy. Pick is called
+// with a non-empty candidate slice (every entry idle and supporting the
+// module) and returns an index INTO the slice. Implementations must be
+// deterministic functions of the candidates.
+type Policy interface {
+	Name() string
+	Pick(module string, cands []Candidate) int
+}
+
+// lruPolicy reconfigures the least-recently-dispatched idle member — the
+// PR 1 baseline. A member with the module already resident always wins.
+type lruPolicy struct{}
+
+func (lruPolicy) Name() string { return "lru" }
+
+func (lruPolicy) Pick(module string, cands []Candidate) int {
+	best := 0
+	for i, c := range cands {
+		if c.Resident == module {
+			return i
+		}
+		if c.LastUsed < cands[best].LastUsed {
+			best = i
+		}
+	}
+	return best
+}
+
+// minCostPolicy picks the idle member whose resident module minimizes the
+// planned configuration cost of the transition — the cost-aware placement
+// the differential planner enables: members whose resident state makes the
+// (resident → wanted) differential small are preferred, so the pool pays
+// the cheapest reconfigurations the workload allows. Ties (including
+// equal-size complete streams) fall back to LRU order.
+type minCostPolicy struct{}
+
+func (minCostPolicy) Name() string { return "mincost" }
+
+// NeedsPlan tells the scheduler to fill Candidate.Plan — plan-unaware
+// policies (lru) skip the per-member PlanFor calls entirely.
+func (minCostPolicy) NeedsPlan() bool { return true }
+
+func (minCostPolicy) Pick(module string, cands []Candidate) int {
+	best := 0
+	for i, c := range cands {
+		if c.Resident == module {
+			return i
+		}
+		if i == 0 {
+			continue
+		}
+		cb, bb := planBytes(c), planBytes(cands[best])
+		if cb < bb || (cb == bb && c.LastUsed < cands[best].LastUsed) {
+			best = i
+		}
+	}
+	return best
+}
+
+// planBytes is a candidate's planned stream size, with an unplannable
+// member costed as worse than any real stream.
+func planBytes(c Candidate) int {
+	if !c.PlanOK {
+		return int(^uint(0) >> 1)
+	}
+	return c.Plan.Bytes
+}
+
+// policies registers the built-in placement policies by name.
+var policies = map[string]Policy{
+	"lru":     lruPolicy{},
+	"mincost": minCostPolicy{},
+}
+
+// PolicyNames lists the registered placement policies, sorted.
+func PolicyNames() []string {
+	names := make([]string, 0, len(policies))
+	for n := range policies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PolicyByName resolves a placement policy ("" means lru).
+func PolicyByName(name string) (Policy, error) {
+	if name == "" {
+		return policies["lru"], nil
+	}
+	p, ok := policies[name]
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown placement policy %q (have %v)", name, PolicyNames())
+	}
+	return p, nil
+}

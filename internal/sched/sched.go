@@ -3,20 +3,23 @@
 // time-sharing methodology implies once more than one task (and more than
 // one board) contends for the dynamic area.
 //
-// The pool's N dynamic areas collectively form an N-entry, LRU-evicted
-// bitstream cache keyed by module name: a request whose module is already
-// resident on an idle member runs there without any ICAP traffic (a cache
-// hit); otherwise the least-recently-dispatched idle member is
-// reconfigured (a miss evicts that member's resident bitstream). Dispatch
-// order is FIFO over schedulable requests; an optional batch window pulls
-// up to Batch-1 queued requests for the same module forward so they ride a
-// warm configuration, bounding how far any request can be overtaken.
+// The pool's N dynamic areas collectively form an N-entry bitstream cache
+// keyed by module name: a request whose module is already resident on an
+// idle member runs there without any ICAP traffic (a cache hit); otherwise
+// a pluggable placement policy chooses the miss victim — "lru" evicts the
+// least-recently-dispatched idle member, "mincost" the member whose
+// resident module minimizes the planned (differential-aware) configuration
+// cost of the transition. Dispatch order is FIFO over schedulable
+// requests; an optional batch window pulls up to Batch-1 queued requests
+// for the same module forward so they ride a warm configuration, bounding
+// how far any request can be overtaken.
 package sched
 
 import (
 	"fmt"
 	"sync"
 
+	"repro/internal/plan"
 	"repro/internal/platform"
 	"repro/internal/pool"
 	"repro/internal/sim"
@@ -29,6 +32,8 @@ type Options struct {
 	// consecutively to one member ahead of strict FIFO order. 0 or 1
 	// disables reordering entirely (pure FIFO).
 	Batch int
+	// Policy places cache-missing requests on idle members. nil means LRU.
+	Policy Policy
 }
 
 // Result is the outcome of one scheduled request.
@@ -55,6 +60,11 @@ type ModuleStats struct {
 	Config   sim.Time
 	Work     sim.Time
 	Errors   uint64
+	// Bytes counts configuration bytes streamed for this module's
+	// requests; Diffs and Completes split its misses by stream kind.
+	Bytes     uint64
+	Diffs     uint64
+	Completes uint64
 }
 
 // Stats aggregates scheduler-wide outcomes.
@@ -69,6 +79,12 @@ type Stats struct {
 	Modules  map[string]ModuleStats
 	// BusyTime is each member's simulated busy time (config+work).
 	BusyTime []sim.Time
+	// BytesStreamed counts all configuration bytes through the pool's
+	// HWICAPs; DiffLoads and CompleteLoads split the misses by the stream
+	// kind the planner chose.
+	BytesStreamed uint64
+	DiffLoads     uint64
+	CompleteLoads uint64
 }
 
 // HitRate returns the bitstream-cache hit fraction of executed requests
@@ -99,6 +115,10 @@ type memberState struct {
 // Scheduler dispatches task requests onto a pool.
 type Scheduler struct {
 	opts Options
+	// planAware: the policy reads Candidate.Plan, so pickLocked must fill
+	// it (the first fill per transition assembles the differential — a
+	// one-time cost under the scheduler lock; later fills are memoized).
+	planAware bool
 
 	mu      sync.Mutex
 	pending []*request
@@ -115,7 +135,13 @@ func New(p *pool.Pool, opts Options) *Scheduler {
 	if opts.Batch < 1 {
 		opts.Batch = 1
 	}
+	if opts.Policy == nil {
+		opts.Policy = lruPolicy{}
+	}
 	s := &Scheduler{opts: opts, stats: Stats{Modules: make(map[string]ModuleStats)}}
+	if pa, ok := opts.Policy.(interface{ NeedsPlan() bool }); ok {
+		s.planAware = pa.NeedsPlan()
+	}
 	for _, m := range p.Members() {
 		s.members = append(s.members, &memberState{m: m})
 	}
@@ -189,13 +215,13 @@ func (s *Scheduler) supported(module string) bool {
 // dispatchLocked assigns as many pending requests as the idle members
 // allow. Called with s.mu held.
 //
-// Policy: scan pending in FIFO order; the first request with an eligible
+// Dispatch: scan pending in FIFO order; the first request with an eligible
 // idle member is dispatched (later requests may only overtake it inside
 // the same-module batch window below, or when no idle member supports its
 // module — e.g. a sha1 request waiting for a 64-bit member while 32-bit
-// members sit idle). Member choice: an idle member with the module already
-// resident wins (cache hit); otherwise the least-recently-used idle member
-// is reconfigured.
+// members sit idle). Member choice is delegated to the placement policy;
+// every built-in policy sends a request to a member with the module
+// already resident when one is idle (cache hit).
 func (s *Scheduler) dispatchLocked() {
 	for {
 		ri, mi := s.pickLocked()
@@ -227,20 +253,34 @@ func (s *Scheduler) dispatchLocked() {
 func (s *Scheduler) pickLocked() (int, int) {
 	for ri, req := range s.pending {
 		mod := req.task.Module()
-		best := -1
+		var cands []Candidate
+		hit := -1
 		for mi, ms := range s.members {
 			if ms.busy || !ms.m.Sys.Supports(mod) {
 				continue
 			}
-			if ms.m.Sys.Resident() == mod {
-				return ri, mi // cache hit: no better member exists
+			c := Candidate{Index: mi, Resident: ms.m.Sys.Resident(), LastUsed: ms.lastUsed}
+			if c.Resident == mod {
+				hit = mi
+				break
 			}
-			if best < 0 || ms.lastUsed < s.members[best].lastUsed {
-				best = mi
+			cands = append(cands, c)
+		}
+		// Cache hit: dispatch there without consulting the policy (every
+		// built-in policy would pick it anyway), skipping the per-member
+		// plan sizing below.
+		if hit >= 0 {
+			return ri, hit
+		}
+		if s.planAware {
+			for i := range cands {
+				if p, err := s.members[cands[i].Index].m.Sys.PlanFor(mod); err == nil {
+					cands[i].Plan, cands[i].PlanOK = p, true
+				}
 			}
 		}
-		if best >= 0 {
-			return ri, best
+		if len(cands) > 0 {
+			return ri, cands[s.opts.Policy.Pick(mod, cands)].Index
 		}
 	}
 	return -1, -1
@@ -272,10 +312,20 @@ func (s *Scheduler) record(mi int, res Result) (seq uint64) {
 	st.Config += res.Report.Config
 	st.Work += res.Report.Work
 	st.BusyTime[mi] += res.Report.Latency()
+	st.BytesStreamed += uint64(res.Report.BytesStreamed)
 	m := st.Modules[res.Module]
 	m.Requests++
 	m.Config += res.Report.Config
 	m.Work += res.Report.Work
+	m.Bytes += uint64(res.Report.BytesStreamed)
+	switch res.Report.Kind {
+	case plan.StreamDifferential:
+		st.DiffLoads++
+		m.Diffs++
+	case plan.StreamComplete:
+		st.CompleteLoads++
+		m.Completes++
+	}
 	if res.Report.CacheHit {
 		st.Hits++
 		m.Hits++
