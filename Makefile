@@ -1,4 +1,4 @@
-.PHONY: build test race vet fmt bench gobench sim sched
+.PHONY: build test race vet fmt bench benchgate fuzz gobench sim sched
 
 build:
 	go build ./...
@@ -17,11 +17,30 @@ fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 # Write the scheduler perf trajectory: the S2 placement comparison
-# (complete-only vs planner-backed, lru vs mincost) on the seeded
-# 60-request mixed workload, as a table on stdout and BENCH_sched.json.
+# (complete-only vs planner-backed, lru vs mincost) and the S3 prefetch
+# comparison (visible config time with and without speculative loads) on
+# the seeded 60-request mixed workload, as tables on stdout and
+# BENCH_sched.json.
 bench:
 	go run ./cmd/fpgad -compare -json BENCH_sched.json -sys32 2 -sys64 2 -n 60 -seed 7 -batch 4 \
 		-mix "sha1=1,jenkins=2,patternmatch=1,brightness=2,blend=2,fade=2,transfer=1"
+
+# CI bench-regression gate: rerun the comparison into a scratch file and
+# fail if visible config time or bytes streamed regress past tolerance
+# against the committed BENCH_sched.json on any configuration (15% on the
+# deterministic S3 rows; the concurrency-noisy S2 rows carry a wider
+# per-record band). After an intended perf change, run `make bench` and
+# commit the refreshed baseline.
+benchgate:
+	go run ./cmd/fpgad -compare -json BENCH_fresh.json -sys32 2 -sys64 2 -n 60 -seed 7 -batch 4 \
+		-mix "sha1=1,jenkins=2,patternmatch=1,brightness=2,blend=2,fade=2,transfer=1"
+	go run ./cmd/benchdiff -baseline BENCH_sched.json -fresh BENCH_fresh.json -max-regress 15; \
+		rc=$$?; rm -f BENCH_fresh.json; exit $$rc
+
+# Fuzz smoke: the loader must reject damaged differential streams without
+# wedging (CRC or state-machine error, never silent misconfiguration).
+fuzz:
+	go test -run '^$$' -fuzz FuzzLoaderDifferentialStream -fuzztime 10s ./internal/bitstream
 
 # Go benchmark harness (paper tables + scheduler economics).
 gobench:

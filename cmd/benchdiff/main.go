@@ -1,0 +1,155 @@
+// Command benchdiff is the CI bench-regression gate: it compares a fresh
+// scheduler bench run (fpgad -compare -json) against the committed
+// baseline, matching records by (table, label) and checking the two
+// metrics that summarize the reconfiguration bill — visible configuration
+// time and request-path bytes streamed. Either metric regressing past the
+// threshold on any configuration fails the gate; configurations present
+// only in the fresh run are reported but never fail (new rows are how the
+// bench grows). A perf improvement is reported as a negative delta — and
+// is the cue to re-commit the baseline so the win is locked in.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_sched.json -fresh BENCH_fresh.json
+//	benchdiff -baseline BENCH_sched.json -fresh BENCH_fresh.json -max-regress 10
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// record is the subset of bench.PlacementRecord the gate reads. Records
+// written before the table field existed key on ("", label) and still
+// match themselves. A baseline record may carry its own tolerance band
+// (tolerance_pct) when its configuration is inherently noisy — the
+// SubmitAll S2 rows react to goroutine completion order — overriding the
+// gate's default; the deterministic S3 rows omit it and gate tight.
+type record struct {
+	Table         string  `json:"table"`
+	Label         string  `json:"label"`
+	ConfigMs      float64 `json:"config_ms"`
+	BytesStreamed uint64  `json:"bytes_streamed"`
+	TolerancePct  float64 `json:"tolerance_pct"`
+}
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	basePath := fs.String("baseline", "BENCH_sched.json", "committed baseline records")
+	freshPath := fs.String("fresh", "", "fresh bench records to gate")
+	maxRegress := fs.Float64("max-regress", 15,
+		"max allowed regression in percent, per configuration and metric")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if *freshPath == "" {
+		fmt.Fprintln(errw, "benchdiff: -fresh is required")
+		return 2
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintln(errw, "benchdiff:", err)
+		return 2
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		fmt.Fprintln(errw, "benchdiff:", err)
+		return 2
+	}
+	if len(base) == 0 {
+		fmt.Fprintln(errw, "benchdiff: baseline has no records")
+		return 2
+	}
+
+	freshBy := make(map[string]record, len(fresh))
+	for _, r := range fresh {
+		freshBy[key(r)] = r
+	}
+	keys := make([]string, 0, len(base))
+	baseBy := make(map[string]record, len(base))
+	for _, r := range base {
+		baseBy[key(r)] = r
+		keys = append(keys, key(r))
+	}
+	sort.Strings(keys)
+
+	failures := 0
+	for _, k := range keys {
+		b := baseBy[k]
+		f, ok := freshBy[k]
+		if !ok {
+			fmt.Fprintf(errw, "benchdiff: FAIL %s: configuration missing from fresh run\n", k)
+			failures++
+			continue
+		}
+		allowed := *maxRegress
+		if b.TolerancePct > 0 {
+			allowed = b.TolerancePct
+		}
+		for _, m := range []struct {
+			name      string
+			base, now float64
+			unit      string
+		}{
+			{"config time", b.ConfigMs, f.ConfigMs, "ms"},
+			{"bytes streamed", float64(b.BytesStreamed), float64(f.BytesStreamed), "B"},
+		} {
+			delta := pct(m.base, m.now)
+			status := "ok  "
+			if delta > allowed {
+				status = "FAIL"
+				failures++
+			}
+			fmt.Fprintf(out, "%s %-32s %-14s %12.3f %s -> %12.3f %s  (%+.1f%%, allowed +%.0f%%)\n",
+				status, k, m.name, m.base, m.unit, m.now, m.unit, delta, allowed)
+		}
+	}
+	for _, r := range fresh {
+		if _, ok := baseBy[key(r)]; !ok {
+			fmt.Fprintf(out, "new  %-32s (not in baseline; commit the fresh records to start gating it)\n", key(r))
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(errw, "benchdiff: %d regression(s) beyond tolerance — investigate, or re-commit the baseline if the change is intended\n",
+			failures)
+		return 1
+	}
+	fmt.Fprintf(out, "benchdiff: %d configuration(s) within tolerance of baseline\n", len(keys))
+	return 0
+}
+
+func key(r record) string { return r.Table + "/" + r.Label }
+
+// pct is the regression of now against base in percent; a zero baseline
+// only regresses if the fresh value is nonzero.
+func pct(base, now float64) float64 {
+	if base == 0 {
+		if now == 0 {
+			return 0
+		}
+		return 100
+	}
+	return 100 * (now - base) / base
+}
+
+func load(path string) ([]record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}

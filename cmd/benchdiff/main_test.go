@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseline = `[
+  {"table":"S2","label":"mincost+planner","config_ms":30.0,"bytes_streamed":1900000},
+  {"table":"S3","label":"mincost+prefetch-freq","config_ms":19.0,"bytes_streamed":1300000}
+]`
+
+func TestWithinThresholdPasses(t *testing.T) {
+	dir := t.TempDir()
+	b := write(t, dir, "base.json", baseline)
+	f := write(t, dir, "fresh.json", `[
+	  {"table":"S2","label":"mincost+planner","config_ms":33.0,"bytes_streamed":2000000},
+	  {"table":"S3","label":"mincost+prefetch-freq","config_ms":18.0,"bytes_streamed":1310000}
+	]`)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-baseline", b, "-fresh", f}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s\nstdout:\n%s", code, errw.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "within tolerance of baseline") {
+		t.Errorf("stdout:\n%s", out.String())
+	}
+}
+
+// TestPerRecordToleranceWidensBand: a baseline record carrying its own
+// tolerance_pct (a configuration known to be concurrency-noisy) passes a
+// swing that the default threshold would reject — without widening the
+// band for the other records.
+func TestPerRecordToleranceWidensBand(t *testing.T) {
+	dir := t.TempDir()
+	b := write(t, dir, "base.json", `[
+	  {"table":"S2","label":"mincost+planner","config_ms":30.0,"bytes_streamed":1900000,"tolerance_pct":40},
+	  {"table":"S3","label":"mincost+prefetch-freq","config_ms":19.0,"bytes_streamed":1300000}
+	]`)
+	f := write(t, dir, "fresh.json", `[
+	  {"table":"S2","label":"mincost+planner","config_ms":39.0,"bytes_streamed":2500000},
+	  {"table":"S3","label":"mincost+prefetch-freq","config_ms":19.0,"bytes_streamed":1300000}
+	]`)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-baseline", b, "-fresh", f}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d (a +30%% swing must pass a 40%% band); stdout:\n%s", code, out.String())
+	}
+	// The same +30% swing on the tight-band S3 row still fails.
+	f2 := write(t, dir, "fresh2.json", `[
+	  {"table":"S2","label":"mincost+planner","config_ms":30.0,"bytes_streamed":1900000},
+	  {"table":"S3","label":"mincost+prefetch-freq","config_ms":25.0,"bytes_streamed":1300000}
+	]`)
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-baseline", b, "-fresh", f2}, &out, &errw); code != 1 {
+		t.Fatalf("exit %d, want 1; stdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL S3/mincost+prefetch-freq") {
+		t.Errorf("stdout:\n%s", out.String())
+	}
+}
+
+func TestConfigTimeRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	b := write(t, dir, "base.json", baseline)
+	f := write(t, dir, "fresh.json", `[
+	  {"table":"S2","label":"mincost+planner","config_ms":36.0,"bytes_streamed":1900000},
+	  {"table":"S3","label":"mincost+prefetch-freq","config_ms":19.0,"bytes_streamed":1300000}
+	]`)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-baseline", b, "-fresh", f}, &out, &errw); code != 1 {
+		t.Fatalf("exit %d, want 1; stdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL S2/mincost+planner") || !strings.Contains(errw.String(), "regression(s)") {
+		t.Errorf("stdout:\n%s\nstderr:\n%s", out.String(), errw.String())
+	}
+}
+
+func TestBytesRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	b := write(t, dir, "base.json", baseline)
+	f := write(t, dir, "fresh.json", `[
+	  {"table":"S2","label":"mincost+planner","config_ms":30.0,"bytes_streamed":2300000},
+	  {"table":"S3","label":"mincost+prefetch-freq","config_ms":19.0,"bytes_streamed":1300000}
+	]`)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-baseline", b, "-fresh", f}, &out, &errw); code != 1 {
+		t.Fatalf("exit %d, want 1; stdout:\n%s", code, out.String())
+	}
+}
+
+func TestMissingConfigurationFails(t *testing.T) {
+	dir := t.TempDir()
+	b := write(t, dir, "base.json", baseline)
+	f := write(t, dir, "fresh.json", `[
+	  {"table":"S2","label":"mincost+planner","config_ms":30.0,"bytes_streamed":1900000}
+	]`)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-baseline", b, "-fresh", f}, &out, &errw); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errw.String(), "missing from fresh run") {
+		t.Errorf("stderr:\n%s", errw.String())
+	}
+}
+
+func TestNewConfigurationIsReportedNotFailed(t *testing.T) {
+	dir := t.TempDir()
+	b := write(t, dir, "base.json", baseline)
+	f := write(t, dir, "fresh.json", `[
+	  {"table":"S2","label":"mincost+planner","config_ms":30.0,"bytes_streamed":1900000},
+	  {"table":"S3","label":"mincost+prefetch-freq","config_ms":19.0,"bytes_streamed":1300000},
+	  {"table":"S3","label":"prefetch+prefetch-markov","config_ms":25.0,"bytes_streamed":1600000}
+	]`)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-baseline", b, "-fresh", f}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d, want 0; stderr:\n%s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "new  S3/prefetch+prefetch-markov") {
+		t.Errorf("stdout:\n%s", out.String())
+	}
+}
+
+func TestThresholdFlag(t *testing.T) {
+	dir := t.TempDir()
+	b := write(t, dir, "base.json", baseline)
+	f := write(t, dir, "fresh.json", `[
+	  {"table":"S2","label":"mincost+planner","config_ms":31.0,"bytes_streamed":1900000},
+	  {"table":"S3","label":"mincost+prefetch-freq","config_ms":19.0,"bytes_streamed":1300000}
+	]`)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-baseline", b, "-fresh", f, "-max-regress", "2"}, &out, &errw); code != 1 {
+		t.Fatalf("exit %d, want 1 at 2%% threshold", code)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	b := write(t, dir, "base.json", baseline)
+	garbled := write(t, dir, "bad.json", "{not json")
+	empty := write(t, dir, "empty.json", "[]")
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"missing fresh flag", []string{"-baseline", b}},
+		{"nonexistent fresh file", []string{"-baseline", b, "-fresh", filepath.Join(dir, "nope.json")}},
+		{"garbled fresh file", []string{"-baseline", b, "-fresh", garbled}},
+		{"empty baseline", []string{"-baseline", empty, "-fresh", b}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errw bytes.Buffer
+			if code := run(tc.args, &out, &errw); code != 2 {
+				t.Fatalf("exit %d, want 2; stderr:\n%s", code, errw.String())
+			}
+		})
+	}
+}

@@ -1,8 +1,8 @@
 // Command fpgad is the scheduler front-end: it boots a pool of simulated
 // platforms and drives a configurable workload mix through the
 // reconfiguration scheduler, then reports per-module throughput, the
-// bitstream-cache hit rate, the streams the planner chose and each
-// member's final state.
+// bitstream-cache hit rate, the streams the planner chose, prefetch
+// economics and each member's final state.
 //
 // Usage:
 //
@@ -11,7 +11,9 @@
 //	fpgad -batch 1 -v                            # strict FIFO, per-request log
 //	fpgad -policy mincost                        # cost-aware placement
 //	fpgad -plan=false                            # complete streams only
-//	fpgad -compare -json BENCH_sched.json        # S2 policy comparison
+//	fpgad -prefetch -window 1                    # speculative loads on idle members
+//	fpgad -prefetch -predictor freq              # frequency instead of markov
+//	fpgad -compare -json BENCH_sched.json        # S2 + S3 comparisons
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/pool"
+	"repro/internal/predict"
 	"repro/internal/sched"
 )
 
@@ -43,9 +46,15 @@ func run(args []string, out, errw io.Writer) int {
 		"placement policy on a cache miss ("+strings.Join(sched.PolicyNames(), ", ")+")")
 	planOn := fs.Bool("plan", true,
 		"plan differential streams against verified resident state (false = complete streams only)")
+	prefetchOn := fs.Bool("prefetch", false,
+		"speculatively configure idle members with predicted next modules")
+	predictorName := fs.String("predictor", "markov",
+		"next-module predictor for -prefetch ("+strings.Join(predict.Names(), ", ")+")")
+	window := fs.Int("window", 0,
+		"max outstanding requests, submitted closed-loop (0 = submit all upfront)")
 	compare := fs.Bool("compare", false,
-		"run the S2 placement comparison (complete-only vs planner-backed) instead of a single run")
-	jsonPath := fs.String("json", "", "write machine-readable per-policy records to this file")
+		"run the S2 placement and S3 prefetch comparisons instead of a single run")
+	jsonPath := fs.String("json", "", "write machine-readable per-configuration records to this file")
 	verbose := fs.Bool("v", false, "log every request")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -71,13 +80,23 @@ func run(args []string, out, errw io.Writer) int {
 		return 2
 	}
 	if *compare {
-		// The comparison sweeps every policy × stream-mode configuration
-		// itself, so a single-run selection would be misleading.
-		if *policyName != "lru" || !*planOn {
-			fmt.Fprintln(errw, "fpgad: -compare runs all placement configurations; -policy/-plan only apply to single runs")
+		// The comparisons sweep every policy × stream-mode × prefetch
+		// configuration themselves, so a single-run selection would be
+		// misleading.
+		if *policyName != "lru" || !*planOn || *prefetchOn || *window != 0 {
+			fmt.Fprintln(errw, "fpgad: -compare runs all configurations; -policy/-plan/-prefetch/-window only apply to single runs")
 			return 2
 		}
 		return runCompare(spec, *jsonPath, out, errw)
+	}
+	opts := sched.Options{Batch: *batch, Policy: policy}
+	if *prefetchOn {
+		pred, err := predict.New(*predictorName)
+		if err != nil {
+			fmt.Fprintln(errw, "fpgad:", err)
+			return 2
+		}
+		opts.Prefetch, opts.Predictor = true, pred
 	}
 	w, err := sched.GenWorkload(*seed, *n, mix)
 	if err != nil {
@@ -94,22 +113,32 @@ func run(args []string, out, errw io.Writer) int {
 	if !*planOn {
 		streams = "complete only"
 	}
-	fmt.Fprintf(out, "pool: %d member(s); workload: %d request(s), mix %s, batch %d, policy %s, streams %s\n\n",
-		p.Size(), *n, *mixSpec, *batch, policy.Name(), streams)
+	prefetchDesc := "off"
+	if *prefetchOn {
+		prefetchDesc = "on (" + *predictorName + ")"
+	}
+	fmt.Fprintf(out, "pool: %d member(s); workload: %d request(s), mix %s, batch %d, policy %s, streams %s, prefetch %s\n\n",
+		p.Size(), *n, *mixSpec, *batch, policy.Name(), streams, prefetchDesc)
 
-	s := sched.New(p, sched.Options{Batch: *batch, Policy: policy})
+	s := sched.New(p, opts)
 	failed := 0
-	for _, ch := range s.SubmitAll(w) {
-		r := <-ch
+	report := func(r sched.Result) {
 		if r.Err != nil {
 			failed++
 			fmt.Fprintf(errw, "fpgad: request %d (%s): %v\n", r.ID, r.Task, r.Err)
-			continue
+			return
 		}
 		if *verbose {
 			fmt.Fprintf(out, "req %3d %-20s member %d (%s)  stream %-12s %8d B  config %-12v work %v\n",
 				r.ID, r.Task, r.Member, r.System, r.Report.Kind, r.Report.BytesStreamed,
 				r.Report.Config, r.Report.Work)
+		}
+	}
+	if *window > 0 {
+		s.SubmitWindowed(w, *window, report)
+	} else {
+		for _, ch := range s.SubmitAll(w) {
+			report(<-ch)
 		}
 	}
 	s.Wait()
@@ -118,6 +147,11 @@ func run(args []string, out, errw io.Writer) int {
 	}
 	st := s.Stats()
 	bench.ThroughputTable(st).Format(out)
+	if *prefetchOn {
+		fmt.Fprintf(out, "prefetch: %d issued, %d hits, %d aborted; hidden config %v, speculative %d B (%d B wasted)\n",
+			st.PrefetchIssued, st.PrefetchHits, st.PrefetchAborted,
+			st.HiddenConfig, st.PrefetchBytes, st.PrefetchWasted)
+	}
 	for _, m := range p.Snapshot() {
 		state := "intact"
 		if m.Corrupted {
@@ -127,18 +161,40 @@ func run(args []string, out, errw io.Writer) int {
 		if resident == "" {
 			resident = "(blank)"
 		}
-		fmt.Fprintf(out, "member %d (%s): resident %-14s loads %-3d (%d complete / %d diff)  config time %-12v static %s\n",
-			m.ID, m.System, resident, m.Loads, m.CompleteLoads, m.DiffLoads, m.LoadTime, state)
+		fmt.Fprintf(out, "member %d (%s): resident %-14s loads %-3d (%d complete / %d diff / %d aborted)  config time %-12v static %s\n",
+			m.ID, m.System, resident, m.Loads, m.CompleteLoads, m.DiffLoads, m.AbortedLoads, m.LoadTime, state)
 	}
 	if *jsonPath != "" {
 		// Same label scheme as the -compare records, so trajectory
-		// consumers see one series per configuration.
+		// consumers see one series per configuration. A paced or prefetch
+		// run is a different experiment than the canonical SubmitAll S2
+		// series: it keys under its own table and label and drops the S2
+		// rows' noise-tolerance band.
 		label := policy.Name() + "+complete-only"
 		if *planOn {
 			label = policy.Name() + "+planner"
 		}
 		run := bench.PlacementRun{Label: label, Policy: policy.Name(), Planner: *planOn, Stats: st}
-		if err := writeRecords(*jsonPath, bench.PlacementRecords([]bench.PlacementRun{run})); err != nil {
+		recs := bench.PlacementRecords([]bench.PlacementRun{run})
+		if *prefetchOn || *window > 0 {
+			r := &recs[0]
+			r.Table = "single"
+			r.TolerancePct = 0
+			if *window > 0 {
+				r.Label += fmt.Sprintf("+window%d", *window)
+				r.Window = *window
+			}
+			if *prefetchOn {
+				r.Label += "+prefetch-" + *predictorName
+				r.Predictor = *predictorName
+				r.PrefetchHits = st.PrefetchHits
+				r.PrefetchAborted = st.PrefetchAborted
+				r.PrefetchBytes = st.PrefetchBytes
+				r.PrefetchWastedBytes = st.PrefetchWasted
+				r.HiddenMs = float64(st.HiddenConfig.Microseconds()) / 1e3
+			}
+		}
+		if err := writeRecords(*jsonPath, recs); err != nil {
 			fmt.Fprintln(errw, "fpgad:", err)
 			return 1
 		}
@@ -152,9 +208,10 @@ func run(args []string, out, errw io.Writer) int {
 }
 
 // runCompare drives the same seeded workload under each placement
-// configuration and renders table S2 (optionally emitting JSON records).
+// configuration (table S2) and each prefetch configuration (table S3),
+// optionally emitting the combined JSON records the CI bench gate diffs.
 func runCompare(spec bench.PlacementSpec, jsonPath string, out, errw io.Writer) int {
-	fmt.Fprintf(out, "comparing placement configurations on the same workload: pool %d+%d, %d request(s), mix %s, batch %d, seed %d\n\n",
+	fmt.Fprintf(out, "comparing configurations on the same workload: pool %d+%d, %d request(s), mix %s, batch %d, seed %d\n\n",
 		spec.Pool.Sys32, spec.Pool.Sys64, spec.N, spec.Mix, spec.Batch, spec.Seed)
 	runs, err := bench.PlacementRuns(spec)
 	if err != nil {
@@ -162,8 +219,16 @@ func runCompare(spec bench.PlacementSpec, jsonPath string, out, errw io.Writer) 
 		return 1
 	}
 	bench.PlacementTable(runs).Format(out)
+	pspec := bench.PrefetchSpec{PlacementSpec: spec, Window: bench.DefaultPrefetchSpec().Window}
+	pruns, err := bench.PrefetchRuns(pspec)
+	if err != nil {
+		fmt.Fprintln(errw, "fpgad:", err)
+		return 1
+	}
+	bench.PrefetchTable(pruns).Format(out)
 	if jsonPath != "" {
-		if err := writeRecords(jsonPath, bench.PlacementRecords(runs)); err != nil {
+		recs := append(bench.PlacementRecords(runs), bench.PrefetchRecords(pruns)...)
+		if err := writeRecords(jsonPath, recs); err != nil {
 			fmt.Fprintln(errw, "fpgad:", err)
 			return 1
 		}

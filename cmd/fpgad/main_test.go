@@ -20,13 +20,61 @@ func TestRunSmallWorkload(t *testing.T) {
 	}
 }
 
-func TestRunRejectsBadMix(t *testing.T) {
-	var out, errw bytes.Buffer
-	if code := run([]string{"-mix", "nosuchtask=1"}, &out, &errw); code != 2 {
-		t.Fatalf("exit %d, want 2", code)
+// TestRunFlagAndMixParsing is the table-driven gate on the front-end's
+// argument surface: every malformed -mix shape, unknown names for the
+// pluggable pieces, and the -compare flag exclusions must be rejected with
+// exit code 2 and a diagnostic naming the problem.
+func TestRunFlagAndMixParsing(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"unknown task", []string{"-mix", "nosuchtask=1"}, "unknown task"},
+		{"zero weight", []string{"-mix", "jenkins=0"}, "bad weight"},
+		{"negative weight", []string{"-mix", "jenkins=-2"}, "bad weight"},
+		{"non-numeric weight", []string{"-mix", "jenkins=lots"}, "bad weight"},
+		{"empty mix", []string{"-mix", ""}, "empty workload mix"},
+		{"only separators", []string{"-mix", ",,,"}, "empty workload mix"},
+		{"bare equals", []string{"-mix", "=3"}, "unknown task"},
+		{"unknown policy", []string{"-policy", "psychic"}, "unknown placement policy"},
+		{"unknown predictor", []string{"-prefetch", "-predictor", "oracle"}, "unknown predictor"},
+		{"compare excludes policy", []string{"-compare", "-policy", "mincost"}, "-compare"},
+		{"compare excludes plan", []string{"-compare", "-plan=false"}, "-compare"},
+		{"compare excludes prefetch", []string{"-compare", "-prefetch"}, "-compare"},
+		{"compare excludes window", []string{"-compare", "-window", "2"}, "-compare"},
 	}
-	if !strings.Contains(errw.String(), "unknown task") {
-		t.Errorf("stderr: %s", errw.String())
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errw bytes.Buffer
+			if code := run(tc.args, &out, &errw); code != 2 {
+				t.Fatalf("exit %d, want 2; stderr:\n%s", code, errw.String())
+			}
+			if !strings.Contains(errw.String(), tc.wantErr) {
+				t.Errorf("stderr missing %q:\n%s", tc.wantErr, errw.String())
+			}
+		})
+	}
+}
+
+// TestRunMixVariants: accepted -mix spellings parse to runnable workloads.
+func TestRunMixVariants(t *testing.T) {
+	cases := []struct {
+		name string
+		mix  string
+	}{
+		{"bare name weight 1", "fade"},
+		{"mixed bare and weighted", "fade,brightness=2"},
+		{"spaces around separators", " fade=2 , brightness=1 "},
+		{"trailing comma", "fade=1,"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errw bytes.Buffer
+			if code := run([]string{"-sys32", "1", "-n", "2", "-mix", tc.mix}, &out, &errw); code != 0 {
+				t.Fatalf("exit %d for mix %q, stderr:\n%s", code, tc.mix, errw.String())
+			}
+		})
 	}
 }
 
@@ -38,5 +86,23 @@ func TestRunFailsUnsupportedModule(t *testing.T) {
 	}
 	if !strings.Contains(errw.String(), "no member supports") {
 		t.Errorf("stderr: %s", errw.String())
+	}
+}
+
+// TestRunPrefetchWindowed drives the prefetch pipeline through the CLI
+// surface: windowed submission, prefetch summary line, and the per-member
+// aborted-load counter in the final state report.
+func TestRunPrefetchWindowed(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-sys32", "2", "-n", "10", "-mix", "brightness=1,fade=1,blend=1",
+		"-seed", "5", "-policy", "prefetch", "-prefetch", "-predictor", "freq", "-window", "1"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"prefetch on (freq)", "prefetch:", "hidden config", "aborted)", "policy prefetch"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
 	}
 }

@@ -5,6 +5,13 @@
 // placement converges on parking each effect on its own board, after which
 // every request is a bitstream-cache hit; on the seed's single board every
 // alternation paid a full reconfiguration instead.
+//
+// The second act rotates three effects over the same two boards — one more
+// module than the pool has dynamic areas, so pure affinity must
+// reconfigure on the request path once per cycle. With prefetching on, the
+// markov predictor learns the rotation and configures the idle board with
+// the next effect while the other computes: the reconfiguration time is
+// still paid, but off the critical path.
 package main
 
 import (
@@ -57,4 +64,42 @@ func main() {
 		fmt.Printf("member %d: resident %-12s reconfigurations %d, config time %v, %d stream bytes, static intact: %v\n",
 			m.ID, m.Resident, m.Loads, m.LoadTime, m.StreamedBytes, !m.Corrupted)
 	}
+
+	fmt.Println("\n--- three effects on two dynamic areas, prefetch on ---")
+	p2, err := pool.New(pool.Config{Sys32: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s2 := sched.New(p2, sched.Options{Prefetch: true}) // default markov predictor
+	for step := 0; step < 24; step++ {
+		var t tasks.Runner
+		switch step % 3 {
+		case 0:
+			t = tasks.FadeRun{Seed: int64(step), N: n, F: 32 * (step%8 + 1)}
+		case 1:
+			t = tasks.BrightnessRun{Seed: int64(step), N: n, Delta: 3 * (step % 10)}
+		default:
+			t = tasks.BlendRun{Seed: int64(step), N: n}
+		}
+		// Closed loop: the next frame is produced after the previous one,
+		// which is exactly the idle window the prefetcher fills.
+		r := <-s2.Submit(t)
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		if step >= 21 {
+			note := "reconfigured on the request path"
+			if r.Report.CacheHit {
+				note = "predicted and preloaded"
+			}
+			fmt.Printf("req %2d: %-18s member %d  stream %-12s config=%-12v (%s)\n",
+				r.ID, r.Task, r.Member, r.Report.Kind, r.Report.Config, note)
+		}
+	}
+	s2.Wait()
+	st := s2.Stats()
+	fmt.Printf("\nrotation of 3 effects over 2 areas: %d/%d cache hits, visible config %v\n",
+		st.Hits, st.Done, st.Config)
+	fmt.Printf("prefetch: %d speculative loads, %d hits, hidden config %v, %d B speculative (%d B wasted)\n",
+		st.PrefetchIssued, st.PrefetchHits, st.HiddenConfig, st.PrefetchBytes, st.PrefetchWasted)
 }

@@ -131,9 +131,13 @@ func PlacementTable(runs []PlacementRun) *Table {
 	return t
 }
 
-// PlacementRecord is the machine-readable form of one placement run, as
-// written to BENCH_sched.json for cross-PR perf trajectories.
+// PlacementRecord is the machine-readable form of one run, as written to
+// BENCH_sched.json for cross-PR perf trajectories and the CI bench gate
+// (cmd/benchdiff keys on table+label and compares config_ms and
+// bytes_streamed against the committed baseline). S2 placement runs and S3
+// prefetch runs share the format; the prefetch fields stay zero for S2.
 type PlacementRecord struct {
+	Table         string  `json:"table"`
 	Label         string  `json:"label"`
 	Policy        string  `json:"policy"`
 	Planner       bool    `json:"planner"`
@@ -148,36 +152,60 @@ type PlacementRecord struct {
 	BusyMs        float64 `json:"busy_ms"`
 	BytesStreamed uint64  `json:"bytes_streamed"`
 	SimUsPerReq   float64 `json:"sim_us_per_req"`
+
+	Window              int     `json:"window,omitempty"`
+	Predictor           string  `json:"predictor,omitempty"`
+	PrefetchHits        uint64  `json:"prefetch_hits,omitempty"`
+	PrefetchAborted     uint64  `json:"prefetch_aborted,omitempty"`
+	PrefetchBytes       uint64  `json:"prefetch_bytes,omitempty"`
+	PrefetchWastedBytes uint64  `json:"prefetch_wasted_bytes,omitempty"`
+	HiddenMs            float64 `json:"hidden_ms,omitempty"`
+
+	// TolerancePct is how much this configuration may regress before the
+	// CI gate (cmd/benchdiff) fails, overriding the gate's default. The
+	// paced S3 rows are deterministic and gate tight; the SubmitAll S2
+	// rows react to goroutine completion order (placement follows whoever
+	// finishes first) and swing up to ~30% run to run, so they carry a
+	// wider band — still far inside the 5x planner-vs-complete signal
+	// they guard.
+	TolerancePct float64 `json:"tolerance_pct,omitempty"`
+}
+
+// placementRecord fills the fields shared by S2 and S3 runs.
+func placementRecord(r PlacementRun) PlacementRecord {
+	st := r.Stats
+	var busy float64
+	for _, b := range st.BusyTime {
+		busy += float64(b.Microseconds())
+	}
+	rec := PlacementRecord{
+		Table:         "S2",
+		TolerancePct:  40, // concurrent SubmitAll run: see TolerancePct doc
+		Label:         r.Label,
+		Policy:        r.Policy,
+		Planner:       r.Planner,
+		Requests:      st.Done,
+		Hits:          st.Hits,
+		Misses:        st.Misses,
+		HitRate:       st.HitRate(),
+		DiffLoads:     st.DiffLoads,
+		CompleteLoads: st.CompleteLoads,
+		ConfigMs:      float64(st.Config.Microseconds()) / 1e3,
+		WorkMs:        float64(st.Work.Microseconds()) / 1e3,
+		BusyMs:        busy / 1e3,
+		BytesStreamed: st.BytesStreamed,
+	}
+	if st.Done > 0 {
+		rec.SimUsPerReq = busy / float64(st.Done)
+	}
+	return rec
 }
 
 // PlacementRecords converts runs for JSON emission.
 func PlacementRecords(runs []PlacementRun) []PlacementRecord {
 	out := make([]PlacementRecord, 0, len(runs))
 	for _, r := range runs {
-		st := r.Stats
-		var busy float64
-		for _, b := range st.BusyTime {
-			busy += float64(b.Microseconds())
-		}
-		rec := PlacementRecord{
-			Label:         r.Label,
-			Policy:        r.Policy,
-			Planner:       r.Planner,
-			Requests:      st.Done,
-			Hits:          st.Hits,
-			Misses:        st.Misses,
-			HitRate:       st.HitRate(),
-			DiffLoads:     st.DiffLoads,
-			CompleteLoads: st.CompleteLoads,
-			ConfigMs:      float64(st.Config.Microseconds()) / 1e3,
-			WorkMs:        float64(st.Work.Microseconds()) / 1e3,
-			BusyMs:        busy / 1e3,
-			BytesStreamed: st.BytesStreamed,
-		}
-		if st.Done > 0 {
-			rec.SimUsPerReq = busy / float64(st.Done)
-		}
-		out = append(out, rec)
+		out = append(out, placementRecord(r))
 	}
 	return out
 }

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -82,8 +83,15 @@ type Manager struct {
 	bytesStreamed uint64
 	diffLoads     uint64
 	completeLoads uint64
+	abortedLoads  uint64
 	corrupted     bool
 }
+
+// ErrAborted reports that an abortable load was stopped at a safe stream
+// boundary before the configuration sequence completed. The region content
+// is then partial, so the tracked resident state is demoted to
+// non-authoritative and the next load must plan a complete stream.
+var ErrAborted = errors.New("core: load aborted at stream boundary")
 
 // NewManager returns a manager for the configured dynamic area.
 func NewManager(cfg Config) (*Manager, error) {
@@ -169,6 +177,10 @@ func (m *Manager) Stats() (loads uint64, total sim.Time, bytes uint64) {
 func (m *Manager) LoadKinds() (complete, differential uint64) {
 	return m.completeLoads, m.diffLoads
 }
+
+// AbortedLoads reports how many loads were stopped at a stream boundary
+// before completing (speculative streams preempted by a real request).
+func (m *Manager) AbortedLoads() uint64 { return m.abortedLoads }
 
 // DiffAssemblies reports how often AssembleDifferential actually ran —
 // repeated loads of a memoized transition do not grow this counter.
@@ -272,32 +284,47 @@ func (m *Manager) LoadDifferential(name, assumed string) (sim.Time, error) {
 // otherwise LoadPlanned refuses without touching the ICAP, and the caller
 // must re-plan against the current state.
 func (m *Manager) LoadPlanned(p plan.Plan) (sim.Time, error) {
+	t, _, err := m.LoadPlannedAbortable(p, nil)
+	return t, err
+}
+
+// LoadPlannedAbortable executes a plan like LoadPlanned, but polls stop at
+// safe stream boundaries (every abortCheckWords words) — the cancellable
+// load a speculative prefetcher issues, so a real request never waits for
+// a full speculative stream. On abort the configuration logic is reset,
+// the words streamed so far are accounted, the tracked resident state is
+// demoted to non-authoritative (partial region content), and ErrAborted is
+// returned. bytes reports the words actually streamed, complete or not.
+func (m *Manager) LoadPlannedAbortable(p plan.Plan, stop func() bool) (elapsed sim.Time, bytes int, err error) {
 	e, ok := m.modules[p.Module]
 	if !ok {
-		return 0, fmt.Errorf("core: unknown module %s", p.Module)
+		return 0, 0, fmt.Errorf("core: unknown module %s", p.Module)
+	}
+	if stop != nil && stop() {
+		return 0, 0, ErrAborted
 	}
 	resident, authoritative := m.ResidentState()
 	switch p.Kind {
 	case plan.StreamNone:
 		if !authoritative || resident != p.Module {
-			return 0, fmt.Errorf("core: stale plan: no-op for %s but resident state is %q (authoritative=%v)",
+			return 0, 0, fmt.Errorf("core: stale plan: no-op for %s but resident state is %q (authoritative=%v)",
 				p.Module, resident, authoritative)
 		}
-		return 0, nil
+		return 0, 0, nil
 	case plan.StreamDifferential:
 		if !authoritative || resident != p.From {
-			return 0, fmt.Errorf("core: stale plan: differential %q -> %s but resident state is %q (authoritative=%v)",
+			return 0, 0, fmt.Errorf("core: stale plan: differential %q -> %s but resident state is %q (authoritative=%v)",
 				p.From, p.Module, resident, authoritative)
 		}
 		res, err := m.differential(p.From, p.Module)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
-		return m.stream(res.Stream, true)
+		return m.streamAbortable(res.Stream, true, stop)
 	case plan.StreamComplete:
-		return m.stream(e.assembled.Stream, false)
+		return m.streamAbortable(e.assembled.Stream, false, stop)
 	}
-	return 0, fmt.Errorf("core: unknown stream kind %v", p.Kind)
+	return 0, 0, fmt.Errorf("core: unknown stream kind %v", p.Kind)
 }
 
 // LoadNaive streams a naively assembled configuration (zeros outside the
@@ -315,12 +342,41 @@ func (m *Manager) LoadNaive(name string) (sim.Time, error) {
 	return m.stream(res.Stream, false)
 }
 
+// abortCheckWords is how often an abortable stream polls its stop
+// function: every 256 words (1 KiB) — a handful of frames — so a real
+// request preempts a speculative stream within microseconds of real time.
+const abortCheckWords = 256
+
 // stream drives the words through the HWICAP with CPU stores and checks the
 // completion status.
 func (m *Manager) stream(s *bitstream.Stream, differential bool) (sim.Time, error) {
+	t, _, err := m.streamAbortable(s, differential, nil)
+	return t, err
+}
+
+// streamAbortable streams like stream, polling stop at chunk boundaries.
+// An aborted stream resets the configuration logic (so the next load finds
+// the packet state machine at power-up, as a real HWICAP abort does),
+// counts the words it actually pushed, and leaves the resident state
+// non-authoritative: some frames may have been committed without a rebind.
+// The §2.2 hazard gate then refuses any differential against this region
+// until a complete load restores a verified state, so an abort can waste
+// stream bytes but can never corrupt an execution.
+func (m *Manager) streamAbortable(s *bitstream.Stream, differential bool, stop func() bool) (sim.Time, int, error) {
 	c := m.cfg.CPU
 	start := m.cfg.Kernel.Now()
-	for _, w := range s.Words {
+	for i, w := range s.Words {
+		if stop != nil && i > 0 && i%abortCheckWords == 0 && stop() {
+			c.SW(m.cfg.ICAPBase+icap.RegControl, icap.CtrlReset)
+			c.Sync()
+			elapsed := m.cfg.Kernel.Now() - start
+			m.loadCount++
+			m.abortedLoads++
+			m.loadTime += elapsed
+			m.bytesStreamed += uint64(4 * i)
+			m.residentOK = false
+			return elapsed, 4 * i, ErrAborted
+		}
 		c.SW(m.cfg.ICAPBase+icap.RegWriteFIFO, w)
 	}
 	c.Sync()
@@ -343,13 +399,13 @@ func (m *Manager) stream(s *bitstream.Stream, differential bool) (sim.Time, erro
 		// The sequence never completed: frames may have been committed
 		// without a rebind, so the tracked state is no longer trustworthy.
 		m.residentOK = false
-		return elapsed, err
+		return elapsed, s.SizeBytes(), err
 	}
 	if status&icap.StatError != 0 {
 		m.residentOK = false
-		return elapsed, fmt.Errorf("core: configuration error reported by HWICAP")
+		return elapsed, s.SizeBytes(), fmt.Errorf("core: configuration error reported by HWICAP")
 	}
-	return elapsed, nil
+	return elapsed, s.SizeBytes(), nil
 }
 
 // rebind runs after every completed configuration sequence: it hashes the

@@ -159,6 +159,27 @@ func (p *Planner) Observe(bytes int, elapsed sim.Time) {
 	p.observed++
 }
 
+// PairBytes returns the differential stream size for the (from → to)
+// transition ("" = the blank baseline), memoizing like Plan. ok is false
+// when no differential exists for the pair. Cost-aware prefetchers use the
+// (blank → module) size as a state-independent estimate of what re-hosting
+// the module later will cost: a differential's frame count is dominated by
+// the wider of the two components, so the blank-baseline pair is a stable
+// proxy for any from-state.
+func (p *Planner) PairBytes(from, to string) (int, bool) {
+	if !p.src.Has(to) {
+		return 0, false
+	}
+	b, _, ok := p.pairSize(from, to)
+	return b, ok
+}
+
+// CompleteBytes returns the module's complete stream size, memoized.
+func (p *Planner) CompleteBytes(name string) (int, error) {
+	b, _, err := p.completeSize(name)
+	return b, err
+}
+
 // Pairs reports how many (from, to) transitions have been memoized.
 func (p *Planner) Pairs() int {
 	p.mu.Lock()

@@ -1,8 +1,10 @@
 package platform
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/plan"
 	"repro/internal/sim"
 )
@@ -10,13 +12,15 @@ import (
 // ConfigReport describes one reconfiguration of the dynamic area: which
 // stream kind the planner chose (no-op, differential or complete), how many
 // bytes went through the HWICAP and how long the configuration took in
-// simulated time.
+// simulated time. Aborted marks a speculative stream that was stopped at a
+// safe boundary; Bytes then counts only the words actually pushed.
 type ConfigReport struct {
-	Module string
-	Kind   plan.StreamKind
-	Bytes  int
-	Frames int
-	Time   sim.Time
+	Module  string
+	Kind    plan.StreamKind
+	Bytes   int
+	Frames  int
+	Time    sim.Time
+	Aborted bool
 }
 
 // ExecReport describes one task execution on a system: how the requested
@@ -40,12 +44,19 @@ type ExecReport struct {
 func (r ExecReport) Latency() sim.Time { return r.Config + r.Work }
 
 // Resident returns the name of the module currently configured in the
-// dynamic area ("" when blank or corrupted). Unlike Mgr.Current it is safe
-// to call while another goroutine is inside Execute.
+// dynamic area — "" when blank, corrupted, or when the tracked state is
+// not authoritative (e.g. after an aborted speculative stream left partial
+// region content), so callers can treat it as a bitstream-cache key.
+// Unlike Mgr.Current it is safe to call while another goroutine is inside
+// Execute.
 func (s *System) Resident() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.Mgr.Current()
+	r, ok := s.Mgr.ResidentState()
+	if !ok {
+		return ""
+	}
+	return r
 }
 
 // Supports reports whether the named module fits this system's dynamic
@@ -63,24 +74,33 @@ type Status struct {
 	StreamedBytes uint64
 	CompleteLoads uint64
 	DiffLoads     uint64
+	AbortedLoads  uint64
 	Corrupted     bool
 }
 
 // Status reports the resident module and manager statistics under the
 // system lock, so it is safe while another goroutine is inside Execute.
+// Resident follows the same authoritative-only contract as Resident():
+// after an aborted speculative stream the region content is partial, so
+// no module is reported.
 func (s *System) Status() Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	loads, loadTime, bytes := s.Mgr.Stats()
 	complete, diff := s.Mgr.LoadKinds()
+	resident, ok := s.Mgr.ResidentState()
+	if !ok {
+		resident = ""
+	}
 	return Status{
-		Resident:      s.Mgr.Current(),
+		Resident:      resident,
 		Now:           s.K.Now(),
 		Loads:         loads,
 		LoadTime:      loadTime,
 		StreamedBytes: bytes,
 		CompleteLoads: complete,
 		DiffLoads:     diff,
+		AbortedLoads:  s.Mgr.AbortedLoads(),
 		Corrupted:     s.Mgr.Corrupted(),
 	}
 }
@@ -134,6 +154,61 @@ func (s *System) loadWith(name string, usePlanner bool) (ConfigReport, error) {
 	}
 	if p.Kind != plan.StreamNone {
 		s.Planner.Observe(p.Bytes, t)
+	}
+	return r, nil
+}
+
+// RestoreEstimate returns the planner's state-independent estimate, in
+// stream bytes, of re-hosting the module later: the (blank → module)
+// differential, falling back to the complete stream when no differential
+// exists. A prefetcher weighs a speculative eviction by what bringing each
+// side back would cost — a wide, rarely-requested module (sha1) is worth
+// protecting over a narrow frequent one precisely because every transition
+// involving it streams its full width.
+func (s *System) RestoreEstimate(module string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.Planner.PairBytes("", module); ok {
+		return b, nil
+	}
+	return s.Planner.CompleteBytes(module)
+}
+
+// LoadSpeculative brings a module into the dynamic area ahead of any
+// request — the prefetch half of overlapping reconfiguration with
+// computation. It plans like LoadModule but issues the stream through the
+// abortable path, polling stop at safe boundaries, so a real request that
+// wants the system never waits for a full speculative stream: it triggers
+// stop and takes the system lock as soon as the stream parks. On abort the
+// report carries the partial byte count and Aborted=true, the resident
+// state is demoted to non-authoritative, and core.ErrAborted is returned —
+// the §2.2 hazard gate then forces the next load to stream a complete
+// configuration, so a stale speculative resident can never be executed
+// against.
+func (s *System) LoadSpeculative(name string, stop func() bool) (ConfigReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if stop != nil && stop() {
+		return ConfigReport{Module: name, Aborted: true}, core.ErrAborted
+	}
+	p, err := s.planFor(name, s.planning)
+	if err != nil {
+		return ConfigReport{Module: name}, err
+	}
+	t, bytes, err := s.Mgr.LoadPlannedAbortable(p, stop)
+	r := ConfigReport{Module: name, Kind: p.Kind, Bytes: bytes, Frames: p.Frames, Time: t}
+	if errors.Is(err, core.ErrAborted) {
+		r.Aborted = true
+		return r, err
+	}
+	if err != nil {
+		return r, err
+	}
+	if s.Mgr.Current() != name {
+		return r, fmt.Errorf("platform: after speculative load of %s the region binds %q", name, s.Mgr.Current())
+	}
+	if p.Kind != plan.StreamNone {
+		s.Planner.Observe(bytes, t)
 	}
 	return r, nil
 }

@@ -1,0 +1,104 @@
+package platform
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/plan"
+)
+
+// TestSpeculativeLoadThenHit prefetches a module and checks that the next
+// request for it is a planned no-op: the configuration time was paid off
+// the request path.
+func TestSpeculativeLoadThenHit(t *testing.T) {
+	s, err := NewSys32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.LoadSpeculative("fade", func() bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Aborted || rep.Kind == plan.StreamNone || rep.Bytes == 0 || rep.Time == 0 {
+		t.Fatalf("speculative report %+v, want a real stream", rep)
+	}
+	if got := s.Resident(); got != "fade" {
+		t.Fatalf("resident %q after speculative load, want fade", got)
+	}
+	er, err := s.Execute("fade", func() error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !er.CacheHit || er.Config != 0 {
+		t.Fatalf("execute report %+v, want cache hit with zero config time", er)
+	}
+}
+
+// TestSpeculativeAbortForcesCompleteReload aborts a speculative stream
+// mid-flight and checks the safety chain end to end at the platform layer:
+// Resident() stops naming the stale module, the next Execute streams a
+// complete configuration, and the static design stays intact.
+func TestSpeculativeAbortForcesCompleteReload(t *testing.T) {
+	s, err := NewSys32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadModule("fade"); err != nil {
+		t.Fatal(err)
+	}
+	// The first two polls are the entry checks of LoadSpeculative and
+	// LoadPlannedAbortable; the third is the first in-stream boundary.
+	polls := 0
+	rep, err := s.LoadSpeculative("blend", func() bool {
+		polls++
+		return polls >= 3
+	})
+	if !errors.Is(err, core.ErrAborted) {
+		t.Fatalf("err = %v, want core.ErrAborted", err)
+	}
+	if !rep.Aborted || rep.Bytes <= 0 {
+		t.Fatalf("abort report %+v, want partial bytes", rep)
+	}
+	if got := s.Resident(); got != "" {
+		t.Fatalf("Resident() = %q after abort, want \"\" (non-authoritative)", got)
+	}
+	st := s.Status()
+	if st.AbortedLoads != 1 {
+		t.Fatalf("status aborted loads = %d, want 1", st.AbortedLoads)
+	}
+
+	er, err := s.Execute("blend", func() error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.CacheHit || er.Kind != plan.StreamComplete {
+		t.Fatalf("post-abort execute report %+v, want a complete-stream miss", er)
+	}
+	if s.Resident() != "blend" || s.Status().Corrupted {
+		t.Fatalf("recovery failed: resident %q corrupted=%v", s.Resident(), s.Status().Corrupted)
+	}
+}
+
+// TestSpeculativeAbortBeforeStartIsFree: a stop that is already set when
+// the speculative load acquires the system costs nothing and changes
+// nothing.
+func TestSpeculativeAbortBeforeStartIsFree(t *testing.T) {
+	s, err := NewSys32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadModule("fade"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.LoadSpeculative("blend", func() bool { return true })
+	if !errors.Is(err, core.ErrAborted) {
+		t.Fatalf("err = %v, want core.ErrAborted", err)
+	}
+	if rep.Bytes != 0 || !rep.Aborted {
+		t.Fatalf("report %+v, want clean zero-byte abort", rep)
+	}
+	if got := s.Resident(); got != "fade" {
+		t.Fatalf("Resident() = %q, want fade untouched", got)
+	}
+}

@@ -1,0 +1,199 @@
+// Package predict guesses which module a workload will request next, so a
+// prefetching scheduler can configure an idle dynamic area before the
+// request arrives — the overlap of reconfiguration with computation that
+// hides the ICAP stream time from the request critical path.
+//
+// Predictors train online from the scheduler's arrival stream: every
+// submitted request's module is Observed, and Rank returns the most likely
+// next modules. Two predictors are registered: "freq" ranks modules by
+// their overall request frequency, "markov" conditions a first-order
+// transition table on the last observed module and falls back to frequency
+// while a row is still cold. Both are deterministic functions of the
+// observation history (ties break lexicographically) and safe for
+// concurrent use.
+package predict
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Predictor guesses the next requested module from the observed stream.
+type Predictor interface {
+	Name() string
+	// Observe records one request arrival.
+	Observe(module string)
+	// Rank returns up to k distinct modules, most likely next first.
+	Rank(k int) []string
+	// Prob estimates the probability that the next request names module
+	// (0 when nothing has been observed).
+	Prob(module string) float64
+}
+
+// New returns a fresh predictor by name ("" means markov). Predictors are
+// stateful, so every scheduler gets its own instance.
+func New(name string) (Predictor, error) {
+	switch name {
+	case "", "markov":
+		return &markov{freq: freq{counts: make(map[string]uint64)},
+			rows: make(map[string]*freq)}, nil
+	case "freq":
+		return &freq{counts: make(map[string]uint64)}, nil
+	}
+	return nil, fmt.Errorf("predict: unknown predictor %q (have %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+// Names lists the registered predictors, sorted.
+func Names() []string { return []string{"freq", "markov"} }
+
+// freq ranks modules by their overall request frequency — the stateless
+// baseline, and the fallback for cold markov rows.
+type freq struct {
+	mu     sync.Mutex
+	counts map[string]uint64
+	total  uint64
+}
+
+func (f *freq) Name() string { return "freq" }
+
+func (f *freq) Observe(module string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counts[module]++
+	f.total++
+}
+
+func (f *freq) Rank(k int) []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return rankCounts(f.counts, k)
+}
+
+func (f *freq) Prob(module string) float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.total == 0 {
+		return 0
+	}
+	return float64(f.counts[module]) / float64(f.total)
+}
+
+// rankCounts orders modules by count descending, ties lexicographically.
+func rankCounts(counts map[string]uint64, k int) []string {
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if counts[names[i]] != counts[names[j]] {
+			return counts[names[i]] > counts[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	if k >= 0 && len(names) > k {
+		names = names[:k]
+	}
+	return names
+}
+
+// markovMinRow is the observation count below which a markov row is
+// considered cold and the overall frequency ranking is used instead.
+const markovMinRow = 6
+
+// markovShrink damps a row's conditional probabilities toward the overall
+// frequency until the row has seen comparably many observations: a row of
+// three samples claiming certainty is far more often sampling noise than
+// structure, and a prefetcher acting on it evicts residents it should not.
+// A genuinely structured stream (strict alternation) still converges to
+// confident conditionals as its rows grow.
+const markovShrink = 16
+
+// markov is a first-order Markov predictor: it counts (previous → next)
+// module transitions and ranks by the row of the last observed module.
+type markov struct {
+	freq // overall counts, the cold-start fallback
+
+	rowMu sync.Mutex
+	rows  map[string]*freq
+	last  string
+}
+
+func (m *markov) Name() string { return "markov" }
+
+func (m *markov) Observe(module string) {
+	m.freq.Observe(module)
+	m.rowMu.Lock()
+	defer m.rowMu.Unlock()
+	if m.last != "" {
+		row, ok := m.rows[m.last]
+		if !ok {
+			row = &freq{counts: make(map[string]uint64)}
+			m.rows[m.last] = row
+		}
+		row.Observe(module)
+	}
+	m.last = module
+}
+
+// row returns the transition row of the last observed module, or nil while
+// it is too cold to beat the frequency fallback.
+func (m *markov) row() *freq {
+	m.rowMu.Lock()
+	defer m.rowMu.Unlock()
+	row := m.rows[m.last]
+	if row == nil {
+		return nil
+	}
+	row.mu.Lock()
+	cold := row.total < markovMinRow
+	row.mu.Unlock()
+	if cold {
+		return nil
+	}
+	return row
+}
+
+// Rank orders every observed module by its shrunk conditional probability,
+// so the ordering inherits the same noise damping as Prob: a markov
+// predictor on a stream with no transition structure degrades gracefully
+// to the frequency ranking instead of chasing sampling noise.
+func (m *markov) Rank(k int) []string {
+	if m.row() == nil {
+		return m.freq.Rank(k)
+	}
+	m.freq.mu.Lock()
+	names := make([]string, 0, len(m.freq.counts))
+	for n := range m.freq.counts {
+		names = append(names, n)
+	}
+	m.freq.mu.Unlock()
+	probs := make(map[string]float64, len(names))
+	for _, n := range names {
+		probs[n] = m.Prob(n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if probs[names[i]] != probs[names[j]] {
+			return probs[names[i]] > probs[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	if k >= 0 && len(names) > k {
+		names = names[:k]
+	}
+	return names
+}
+
+func (m *markov) Prob(module string) float64 {
+	row := m.row()
+	if row == nil {
+		return m.freq.Prob(module)
+	}
+	row.mu.Lock()
+	total := float64(row.total)
+	row.mu.Unlock()
+	w := total / (total + markovShrink)
+	return w*row.Prob(module) + (1-w)*m.freq.Prob(module)
+}

@@ -1,0 +1,150 @@
+package predict
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestRegistry(t *testing.T) {
+	for _, name := range []string{"", "markov", "freq"} {
+		p, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if name != "" && p.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := New("oracle"); err == nil {
+		t.Error("unknown predictor accepted")
+	}
+	if names := Names(); !reflect.DeepEqual(names, []string{"freq", "markov"}) {
+		t.Errorf("Names() = %v", names)
+	}
+}
+
+func TestFreqRanksByCount(t *testing.T) {
+	p, _ := New("freq")
+	if got := p.Rank(3); len(got) != 0 {
+		t.Fatalf("rank before any observation = %v", got)
+	}
+	for _, m := range []string{"a", "b", "b", "c", "c", "c"} {
+		p.Observe(m)
+	}
+	if got := p.Rank(2); !reflect.DeepEqual(got, []string{"c", "b"}) {
+		t.Errorf("Rank(2) = %v, want [c b]", got)
+	}
+	if got := p.Rank(10); !reflect.DeepEqual(got, []string{"c", "b", "a"}) {
+		t.Errorf("Rank(10) = %v, want [c b a]", got)
+	}
+	if got := p.Prob("c"); got != 0.5 {
+		t.Errorf("Prob(c) = %v, want 0.5", got)
+	}
+	if got := p.Prob("z"); got != 0 {
+		t.Errorf("Prob(z) = %v, want 0", got)
+	}
+}
+
+func TestFreqTiesAreLexicographic(t *testing.T) {
+	p, _ := New("freq")
+	for _, m := range []string{"z", "a", "m"} {
+		p.Observe(m)
+	}
+	if got := p.Rank(3); !reflect.DeepEqual(got, []string{"a", "m", "z"}) {
+		t.Errorf("Rank(3) = %v, want lexicographic tie order", got)
+	}
+}
+
+// TestMarkovLearnsAlternation feeds a strict a,b,a,b,... stream: once the
+// rows are warm, the predictor must flip its top guess with each arrival,
+// which a frequency predictor cannot do.
+func TestMarkovLearnsAlternation(t *testing.T) {
+	p, _ := New("markov")
+	for i := 0; i < 20; i++ {
+		if i%2 == 0 {
+			p.Observe("a")
+		} else {
+			p.Observe("b")
+		}
+	}
+	// Last observation was "b": next must be "a".
+	if got := p.Rank(1); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Errorf("after ...a,b Rank(1) = %v, want [a]", got)
+	}
+	// The conditional is shrunk toward the 0.5 overall frequency while the
+	// row is small, but must already dominate it — and its complement.
+	if got := p.Prob("a"); got <= 0.5 || got > 1 {
+		t.Errorf("Prob(a) = %v, want in (0.5, 1]", got)
+	}
+	if pa, pb := p.Prob("a"), p.Prob("b"); pa <= pb {
+		t.Errorf("Prob(a)=%v not above Prob(b)=%v after alternation training", pa, pb)
+	}
+	p.Observe("a")
+	if got := p.Rank(1); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Errorf("after ...b,a Rank(1) = %v, want [b]", got)
+	}
+}
+
+// TestMarkovColdRowFallsBack: with no transitions observed out of the last
+// module, the overall frequency ranking is used.
+func TestMarkovColdRowFallsBack(t *testing.T) {
+	p, _ := New("markov")
+	for _, m := range []string{"x", "x", "x", "x", "x", "x", "x", "y"} {
+		p.Observe(m)
+	}
+	// Row for "y" is empty; fall back to frequency: x dominates.
+	if got := p.Rank(1); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("cold-row Rank(1) = %v, want [x]", got)
+	}
+}
+
+// TestMarkovRanksBeyondRow: a warm row that has only ever seen one
+// successor still ranks every observed module, strongest first, without
+// duplicates — a prefetcher asking for more candidates than the row has
+// seen gets useful guesses.
+func TestMarkovRanksBeyondRow(t *testing.T) {
+	p, _ := New("markov")
+	for i := 0; i < 9; i++ {
+		p.Observe("a")
+		p.Observe("b")
+	}
+	p.Observe("c")
+	p.Observe("a")
+	// Row "a" only knows b; asking for 3 fills in from overall frequency.
+	got := p.Rank(3)
+	if len(got) != 3 || got[0] != "b" {
+		t.Fatalf("Rank(3) = %v, want b first and 3 candidates", got)
+	}
+	seen := make(map[string]bool)
+	for _, m := range got {
+		if seen[m] {
+			t.Fatalf("Rank(3) = %v contains duplicates", got)
+		}
+		seen[m] = true
+	}
+}
+
+// TestConcurrentObserve exercises the predictors under the race detector.
+func TestConcurrentObserve(t *testing.T) {
+	for _, name := range Names() {
+		p, _ := New(name)
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				mods := []string{"a", "b", "c", "d"}
+				for i := 0; i < 200; i++ {
+					p.Observe(mods[(g+i)%len(mods)])
+					p.Rank(2)
+					p.Prob("a")
+				}
+			}(g)
+		}
+		wg.Wait()
+		if got := p.Rank(4); len(got) != 4 {
+			t.Errorf("%s: Rank(4) after concurrent training = %v", name, got)
+		}
+	}
+}

@@ -25,6 +25,15 @@ type Candidate struct {
 	Plan plan.Plan
 	// PlanOK reports whether Plan is valid.
 	PlanOK bool
+	// Speculating marks a member with a speculative load in flight toward
+	// Resident (the predicted module). Dispatching another module there
+	// aborts the stream; the scheduler leaves Plan unset, so cost-aware
+	// policies prefer a quiet member when one exists.
+	Speculating bool
+	// ReuseProb is the predictor's estimate that the member's resident
+	// module is the next one requested (0 without a predictor). Policies
+	// can use it to avoid evicting a module that is about to be wanted.
+	ReuseProb float64
 }
 
 // Policy chooses which idle member hosts a request on a bitstream-cache
@@ -57,6 +66,26 @@ func (lruPolicy) Pick(module string, cands []Candidate) int {
 	return best
 }
 
+// scoredPick is the shared selection loop of the cost-aware policies: a
+// member with the module resident wins outright, otherwise the lowest
+// score does, with ties falling back to LRU order.
+func scoredPick(module string, cands []Candidate, score func(Candidate) float64) int {
+	best := 0
+	for i, c := range cands {
+		if c.Resident == module {
+			return i
+		}
+		if i == 0 {
+			continue
+		}
+		cs, bs := score(c), score(cands[best])
+		if cs < bs || (cs == bs && c.LastUsed < cands[best].LastUsed) {
+			best = i
+		}
+	}
+	return best
+}
+
 // minCostPolicy picks the idle member whose resident module minimizes the
 // planned configuration cost of the transition — the cost-aware placement
 // the differential planner enables: members whose resident state makes the
@@ -72,20 +101,9 @@ func (minCostPolicy) Name() string { return "mincost" }
 func (minCostPolicy) NeedsPlan() bool { return true }
 
 func (minCostPolicy) Pick(module string, cands []Candidate) int {
-	best := 0
-	for i, c := range cands {
-		if c.Resident == module {
-			return i
-		}
-		if i == 0 {
-			continue
-		}
-		cb, bb := planBytes(c), planBytes(cands[best])
-		if cb < bb || (cb == bb && c.LastUsed < cands[best].LastUsed) {
-			best = i
-		}
-	}
-	return best
+	return scoredPick(module, cands, func(c Candidate) float64 {
+		return float64(planBytes(c))
+	})
 }
 
 // planBytes is a candidate's planned stream size, with an unplannable
@@ -97,10 +115,39 @@ func planBytes(c Candidate) int {
 	return c.Plan.Bytes
 }
 
+// prefetchPolicy is the placement-aware companion of the prefetcher: it
+// places a miss like mincost, but charges each candidate the expected cost
+// of evicting its resident module — the predictor's estimate that the
+// resident is wanted next, scaled by the worst planned stream among the
+// candidates (a dimensionally honest stand-in for the reload it would
+// cause). A member whose resident module is about to be requested is
+// therefore spared unless every alternative is much more expensive.
+// Without a predictor every ReuseProb is 0 and the policy degenerates to
+// mincost.
+type prefetchPolicy struct{}
+
+func (prefetchPolicy) Name() string { return "prefetch" }
+
+// NeedsPlan tells the scheduler to fill Candidate.Plan.
+func (prefetchPolicy) NeedsPlan() bool { return true }
+
+func (prefetchPolicy) Pick(module string, cands []Candidate) int {
+	worst := 0
+	for _, c := range cands {
+		if c.PlanOK && c.Plan.Bytes > worst {
+			worst = c.Plan.Bytes
+		}
+	}
+	return scoredPick(module, cands, func(c Candidate) float64 {
+		return float64(planBytes(c)) + c.ReuseProb*float64(worst)
+	})
+}
+
 // policies registers the built-in placement policies by name.
 var policies = map[string]Policy{
-	"lru":     lruPolicy{},
-	"mincost": minCostPolicy{},
+	"lru":      lruPolicy{},
+	"mincost":  minCostPolicy{},
+	"prefetch": prefetchPolicy{},
 }
 
 // PolicyNames lists the registered placement policies, sorted.

@@ -15,7 +15,7 @@ func cand(idx int, resident string, lastUsed uint64, bytes int) Candidate {
 }
 
 func TestPolicyRegistry(t *testing.T) {
-	for _, name := range []string{"", "lru", "mincost"} {
+	for _, name := range []string{"", "lru", "mincost", "prefetch"} {
 		if _, err := PolicyByName(name); err != nil {
 			t.Errorf("PolicyByName(%q): %v", name, err)
 		}
@@ -23,7 +23,7 @@ func TestPolicyRegistry(t *testing.T) {
 	if _, err := PolicyByName("nope"); err == nil {
 		t.Error("unknown policy accepted")
 	}
-	if names := PolicyNames(); len(names) != 2 || names[0] != "lru" || names[1] != "mincost" {
+	if names := PolicyNames(); len(names) != 3 || names[0] != "lru" || names[1] != "mincost" || names[2] != "prefetch" {
 		t.Errorf("PolicyNames() = %v", names)
 	}
 }
@@ -62,6 +62,27 @@ func TestMinCostPolicyPick(t *testing.T) {
 	cands[2].PlanOK = false
 	if got := p.Pick("m", cands); got != 1 {
 		t.Errorf("mincost picked %d, want 1 (plannable beats unplannable)", got)
+	}
+}
+
+func TestPrefetchPolicyPick(t *testing.T) {
+	p, _ := PolicyByName("prefetch")
+	// Without reuse estimates the policy is mincost.
+	cands := []Candidate{cand(0, "a", 1, 500), cand(1, "b", 9, 40), cand(2, "c", 3, 300)}
+	if got := p.Pick("m", cands); got != 1 {
+		t.Errorf("prefetch picked %d without predictor, want 1 (cheapest)", got)
+	}
+	// A hot resident is protected: evicting b (cheapest stream, but its
+	// resident is predicted next with certainty) costs 40 + 1.0*500 = 540,
+	// so the mid-priced quiet member wins.
+	cands[1].ReuseProb = 1
+	if got := p.Pick("m", cands); got != 2 {
+		t.Errorf("prefetch picked %d, want 2 (protects hot resident)", got)
+	}
+	// The resident module still wins outright.
+	cands[0].Resident = "m"
+	if got := p.Pick("m", cands); got != 0 {
+		t.Errorf("prefetch picked %d, want resident member 0", got)
 	}
 }
 

@@ -9,19 +9,32 @@
 // a pluggable placement policy chooses the miss victim — "lru" evicts the
 // least-recently-dispatched idle member, "mincost" the member whose
 // resident module minimizes the planned (differential-aware) configuration
-// cost of the transition. Dispatch order is FIFO over schedulable
-// requests; an optional batch window pulls up to Batch-1 queued requests
-// for the same module forward so they ride a warm configuration, bounding
-// how far any request can be overtaken.
+// cost of the transition, "prefetch" mincost with an eviction penalty for
+// modules the predictor expects back. Dispatch order is FIFO over
+// schedulable requests; an optional batch window pulls up to Batch-1
+// queued requests for the same module forward so they ride a warm
+// configuration, bounding how far any request can be overtaken.
+//
+// With Options.Prefetch the scheduler also overlaps reconfiguration with
+// computation: whenever a member goes idle, an online next-module
+// predictor (internal/predict) and the members' planners choose the
+// cheapest speculative (resident → predicted) transition, and the stream
+// is issued as a cancellable background load. A real request always wins:
+// dispatching a different module to a speculating member triggers its
+// abort token, the stream parks at the next safe boundary, and the §2.2
+// hazard gate guarantees the partial region content is never executed
+// against — a wrong guess wastes speculative bytes, never correctness.
 package sched
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/plan"
 	"repro/internal/platform"
 	"repro/internal/pool"
+	"repro/internal/predict"
 	"repro/internal/sim"
 	"repro/internal/tasks"
 )
@@ -34,6 +47,13 @@ type Options struct {
 	Batch int
 	// Policy places cache-missing requests on idle members. nil means LRU.
 	Policy Policy
+	// Prefetch enables speculative configuration of idle members with the
+	// predictor's next-module guesses.
+	Prefetch bool
+	// Predictor guides prefetching and fills Candidate.ReuseProb; it is
+	// trained online from the arrival stream. nil with Prefetch enabled
+	// selects the default markov predictor.
+	Predictor predict.Predictor
 }
 
 // Result is the outcome of one scheduled request.
@@ -80,11 +100,35 @@ type Stats struct {
 	// BusyTime is each member's simulated busy time (config+work).
 	BusyTime []sim.Time
 	// BytesStreamed counts all configuration bytes through the pool's
-	// HWICAPs; DiffLoads and CompleteLoads split the misses by the stream
-	// kind the planner chose.
+	// HWICAPs on the request path; DiffLoads and CompleteLoads split the
+	// misses by the stream kind the planner chose.
 	BytesStreamed uint64
 	DiffLoads     uint64
 	CompleteLoads uint64
+
+	// Prefetch accounting — all zero unless Options.Prefetch is enabled.
+	// Config above counts only visible (request-path) configuration time;
+	// speculative streams live here.
+	PrefetchIssued    uint64 // speculative loads launched
+	PrefetchLoads     uint64 // speculative streams that reached an ICAP
+	PrefetchCompleted uint64 // speculative streams that ran to completion
+	PrefetchAborted   uint64 // speculative streams aborted or failed
+	PrefetchHits      uint64 // requests served by a prefetched resident
+	PrefetchBytes     uint64 // bytes streamed speculatively
+	// PrefetchWasted counts speculative bytes whose guess was aborted or
+	// overwritten unconsumed. A completed guess still sitting resident is
+	// in neither bucket — it can yet be consumed by a later request.
+	PrefetchWasted uint64
+	// HiddenConfig is the speculative configuration time later consumed by
+	// prefetch hits — time the pipeline moved off the request critical
+	// path; PrefetchConfig is all speculative configuration time. A
+	// request riding an in-flight stream credits the full stream time, so
+	// under continuous arrivals HiddenConfig is an upper bound on the
+	// truly overlapped time: the rider's wait for the stream remainder is
+	// queue-wait, which the per-member simulated-time model does not
+	// measure anywhere (waiting for a busy member is likewise uncounted).
+	HiddenConfig   sim.Time
+	PrefetchConfig sim.Time
 }
 
 // HitRate returns the bitstream-cache hit fraction of executed requests
@@ -103,13 +147,61 @@ type request struct {
 	ch   chan Result
 }
 
+// abortToken cancels one speculative load; the loader polls it at safe
+// stream boundaries.
+type abortToken struct{ flag atomic.Bool }
+
+func (a *abortToken) trigger()      { a.flag.Store(true) }
+func (a *abortToken) aborted() bool { return a.flag.Load() }
+
 type memberState struct {
 	m *pool.Member
 	// busy marks a member with a dispatched batch in flight.
 	busy bool
+	// lastModule is the module of the most recent dispatch — the resident
+	// module a busy member converges to, read without touching its lock.
+	lastModule string
 	// lastUsed is the dispatch tick of the most recent assignment; the
 	// idle member with the smallest tick is the LRU eviction victim.
 	lastUsed uint64
+
+	// specBusy marks an in-flight speculative load of specModule;
+	// specAbort is its cancellation token. A real dispatch of a different
+	// module triggers the token and proceeds — Execute serializes behind
+	// the parking stream on the member's own lock.
+	specBusy   bool
+	specModule string
+	specAbort  *abortToken
+	// specHitPending marks a dispatch that is riding the in-flight
+	// speculative stream (same module): when the stream completes it is
+	// credited as a prefetch hit there and then, since the request's own
+	// record may run before the speculative goroutine's.
+	specHitPending bool
+	// prefetched names the last completed, still unconsumed speculative
+	// load, with the stream bytes/time it paid off the request path. The
+	// first request hitting it converts prefetchedTime into HiddenConfig;
+	// a real load overwriting it books prefetchedBytes as wasted.
+	prefetched      string
+	prefetchedBytes int
+	prefetchedTime  sim.Time
+}
+
+// residentView is the member's resident module as the dispatcher sees it:
+// the last dispatched module while busy (a busy member converges to it —
+// including when the dispatch just aborted a speculation, whose doomed
+// guess must not be reported), else the speculative target while a stream
+// is in flight (it either completes into exactly that state or the
+// dispatch that invalidates it aborts it), else the live authoritative
+// resident. Only the last case takes the member's lock.
+func (ms *memberState) residentView() string {
+	switch {
+	case ms.busy:
+		return ms.lastModule
+	case ms.specBusy:
+		return ms.specModule
+	default:
+		return ms.m.Sys.Resident()
+	}
 }
 
 // Scheduler dispatches task requests onto a pool.
@@ -127,6 +219,12 @@ type Scheduler struct {
 	nextID  uint64
 	stats   Stats
 	wg      sync.WaitGroup
+
+	// specWG tracks speculative load goroutines; stopped (set by Wait,
+	// cleared by Submit) keeps a drained scheduler from speculating into
+	// the void after the last result is delivered.
+	specWG  sync.WaitGroup
+	stopped bool
 }
 
 // New returns a scheduler over the pool. The pool must not be driven by
@@ -137,6 +235,9 @@ func New(p *pool.Pool, opts Options) *Scheduler {
 	}
 	if opts.Policy == nil {
 		opts.Policy = lruPolicy{}
+	}
+	if opts.Prefetch && opts.Predictor == nil {
+		opts.Predictor, _ = predict.New("")
 	}
 	s := &Scheduler{opts: opts, stats: Stats{Modules: make(map[string]ModuleStats)}}
 	if pa, ok := opts.Policy.(interface{ NeedsPlan() bool }); ok {
@@ -155,9 +256,15 @@ func New(p *pool.Pool, opts Options) *Scheduler {
 func (s *Scheduler) Submit(t tasks.Runner) <-chan Result {
 	ch := make(chan Result, 1)
 	s.mu.Lock()
+	s.stopped = false
 	s.nextID++
 	req := &request{id: s.nextID, task: t, ch: ch}
 	s.stats.Requests++
+	if s.opts.Predictor != nil {
+		// Train on the arrival stream — including requests that fail below:
+		// the workload asked for the module either way.
+		s.opts.Predictor.Observe(t.Module())
+	}
 	if !s.supported(t.Module()) {
 		s.stats.Done++
 		s.stats.Errors++
@@ -187,8 +294,64 @@ func (s *Scheduler) SubmitAll(ts []tasks.Runner) []<-chan Result {
 	return out
 }
 
-// Wait blocks until every submitted request has completed.
-func (s *Scheduler) Wait() { s.wg.Wait() }
+// SubmitWindowed drives a workload closed-loop: at most window requests
+// are outstanding, and onResult sees each completed result in submission
+// order before the next request is submitted (window < 1 is treated as
+// fully sequential). Callers model think time — e.g. waiting for
+// Drained() — inside onResult.
+func (s *Scheduler) SubmitWindowed(ts []tasks.Runner, window int, onResult func(Result)) {
+	if window < 1 {
+		window = 1
+	}
+	var inflight []<-chan Result
+	for _, t := range ts {
+		if len(inflight) == window {
+			onResult(<-inflight[0])
+			inflight = inflight[1:]
+		}
+		inflight = append(inflight, s.Submit(t))
+	}
+	for _, ch := range inflight {
+		onResult(<-ch)
+	}
+}
+
+// Wait blocks until every submitted request has completed and all
+// speculative activity has quiesced: in-flight speculative streams are
+// aborted (nothing is coming that could consume them) and their goroutines
+// joined, so Stats() is stable and the pool is untouched afterwards.
+func (s *Scheduler) Wait() {
+	s.wg.Wait()
+	s.mu.Lock()
+	s.stopped = true
+	for _, ms := range s.members {
+		if ms.specBusy {
+			ms.specAbort.trigger()
+		}
+	}
+	s.mu.Unlock()
+	s.specWG.Wait()
+}
+
+// Drained reports whether the scheduler is fully settled: no pending
+// request, no member executing, and no speculative stream in flight.
+// Closed-loop drivers that need reproducible runs poll it between
+// arrivals — a delivered Result precedes the member's release and the
+// tail dispatch that may issue new speculation, so observing counters
+// alone can race with both.
+func (s *Scheduler) Drained() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pending) > 0 {
+		return false
+	}
+	for _, ms := range s.members {
+		if ms.busy || ms.specBusy {
+			return false
+		}
+	}
+	return true
+}
 
 // Stats returns a copy of the aggregate counters.
 func (s *Scheduler) Stats() Stats {
@@ -226,7 +389,7 @@ func (s *Scheduler) dispatchLocked() {
 	for {
 		ri, mi := s.pickLocked()
 		if ri < 0 {
-			return
+			break
 		}
 		head := s.pending[ri]
 		batch := []*request{head}
@@ -241,11 +404,25 @@ func (s *Scheduler) dispatchLocked() {
 			i++
 		}
 		ms := s.members[mi]
+		if ms.specBusy {
+			if ms.specModule != head.task.Module() {
+				// Preempt: the speculative stream parks at its next safe
+				// boundary; Execute then serializes behind it on the
+				// member's lock.
+				ms.specAbort.trigger()
+			} else {
+				// The dispatch rides the in-flight stream — the overlap
+				// paying off; the speculative goroutine credits the hit.
+				ms.specHitPending = true
+			}
+		}
 		ms.busy = true
+		ms.lastModule = head.task.Module()
 		s.tick++
 		ms.lastUsed = s.tick
 		go s.runBatch(ms, mi, batch)
 	}
+	s.prefetchLocked()
 }
 
 // pickLocked returns the indices of the first schedulable pending request
@@ -259,7 +436,11 @@ func (s *Scheduler) pickLocked() (int, int) {
 			if ms.busy || !ms.m.Sys.Supports(mod) {
 				continue
 			}
-			c := Candidate{Index: mi, Resident: ms.m.Sys.Resident(), LastUsed: ms.lastUsed}
+			// For a speculating member the view is the in-flight target: a
+			// matching request dispatched there rides the stream to a hit,
+			// a different one aborts it (see dispatchLocked).
+			c := Candidate{Index: mi, Resident: ms.residentView(),
+				LastUsed: ms.lastUsed, Speculating: ms.specBusy}
 			if c.Resident == mod {
 				hit = mi
 				break
@@ -272,11 +453,17 @@ func (s *Scheduler) pickLocked() (int, int) {
 		if hit >= 0 {
 			return ri, hit
 		}
-		if s.planAware {
-			for i := range cands {
+		for i := range cands {
+			// A speculating member's plan cannot be sized without waiting
+			// out its stream; leaving PlanOK false costs it as worst case,
+			// so policies abort speculation only as a last resort.
+			if s.planAware && !cands[i].Speculating {
 				if p, err := s.members[cands[i].Index].m.Sys.PlanFor(mod); err == nil {
 					cands[i].Plan, cands[i].PlanOK = p, true
 				}
+			}
+			if s.opts.Predictor != nil {
+				cands[i].ReuseProb = s.opts.Predictor.Prob(cands[i].Resident)
 			}
 		}
 		if len(cands) > 0 {
@@ -284,6 +471,187 @@ func (s *Scheduler) pickLocked() (int, int) {
 		}
 	}
 	return -1, -1
+}
+
+// prefetchLocked speculatively configures idle members with the
+// predictor's next-module guesses. Called with s.mu held at the end of
+// every dispatch round. For each ranked module not already resident (or
+// in flight) anywhere in the pool, the idle member whose planner offers
+// the cheapest (resident → predicted) transition hosts the speculative
+// load; at least one member slot is always left unspeculated so a miss
+// for an unpredicted module finds a quiet home. Members carrying an
+// unconsumed prefetch are skipped — replacing their guess before anyone
+// used it would only convert speculative bytes into waste.
+func (s *Scheduler) prefetchLocked() {
+	if !s.opts.Prefetch || s.stopped || s.opts.Predictor == nil {
+		return
+	}
+	speculating := 0
+	var idle []*memberState
+	for _, ms := range s.members {
+		if ms.specBusy {
+			speculating++
+			continue
+		}
+		if !ms.busy && ms.prefetched == "" {
+			idle = append(idle, ms)
+		}
+	}
+	// At most half the pool speculates at once: a miss for an unpredicted
+	// module must still find quiet members to choose among, or placement
+	// degenerates to "the one member not speculating" and the per-miss
+	// streams grow past what prefetch hits save.
+	limit := len(s.members) / 2
+	if limit < 1 {
+		limit = 1
+	}
+	if len(idle) == 0 || speculating >= limit {
+		return
+	}
+	// Modules already resident (or arriving) anywhere in the pool are not
+	// worth a second copy.
+	resident := make(map[string]bool, len(s.members))
+	for _, ms := range s.members {
+		resident[ms.residentView()] = true
+	}
+	candidates := s.opts.Predictor.Rank(2 * len(s.members) * len(s.members))
+	// The eviction loss is constant per member within the round; computing
+	// it once avoids per-candidate Resident/RestoreEstimate round trips
+	// through the members' locks.
+	loss := make(map[*memberState]float64, len(idle))
+	for _, ms := range idle {
+		if r := ms.m.Sys.Resident(); r != "" {
+			loss[ms] = s.opts.Predictor.Prob(r) * float64(restoreBytes(ms.m.Sys, r))
+		}
+	}
+	for speculating < limit && len(idle) > 0 {
+		// Choose the (idle member, predicted module) pair with the highest
+		// expected profit in stream bytes:
+		//
+		//   Prob(predicted) * restore(predicted) - Prob(resident) * restore(resident)
+		//
+		// where restore(x) is the planner's state-independent estimate of
+		// re-hosting x later. The first term is what a predicted hit saves;
+		// the second what evicting the resident costs when it is requested
+		// again. The gate is what keeps speculation from strip-mining
+		// affinity: a wide, occasionally-requested resident (sha1) beats a
+		// narrow frequent guess because every transition touching it
+		// streams its full width, while a blank or cold resident loses to
+		// any warm prediction. Only positive-profit speculation is issued.
+		bestIdle, bestMod, bestProfit, bestPlan := -1, "", 0.0, 0
+		for _, mod := range candidates {
+			if mod == "" || resident[mod] {
+				continue
+			}
+			prob := s.opts.Predictor.Prob(mod)
+			if prob <= 0 {
+				continue
+			}
+			for i, ms := range idle {
+				if !ms.m.Sys.Supports(mod) {
+					continue
+				}
+				// Sized per member: restore estimates differ between the
+				// 32- and 64-bit fabrics.
+				save := prob * float64(restoreBytes(ms.m.Sys, mod))
+				profit := save - loss[ms]
+				if profit <= 0 || profit < bestProfit {
+					continue
+				}
+				// Only potential winners are stream-sized: PlanFor breaks
+				// profit ties toward the cheaper speculative transition,
+				// and skipping the clear losers keeps the member-lock
+				// round trips under the scheduler lock proportional to
+				// improvements, not candidates.
+				pb := int(^uint(0) >> 1)
+				if p, err := ms.m.Sys.PlanFor(mod); err == nil {
+					pb = p.Bytes
+				}
+				if profit > bestProfit || pb < bestPlan {
+					bestIdle, bestMod, bestProfit, bestPlan = i, mod, profit, pb
+				}
+			}
+		}
+		if bestIdle < 0 {
+			return
+		}
+		ms := idle[bestIdle]
+		idle = append(idle[:bestIdle], idle[bestIdle+1:]...)
+		resident[bestMod] = true
+		speculating++
+		ms.specBusy, ms.specModule = true, bestMod
+		ms.specAbort = &abortToken{}
+		s.stats.PrefetchIssued++
+		s.specWG.Add(1)
+		go s.runSpeculative(ms, bestMod, ms.specAbort)
+	}
+}
+
+// restoreBytes is a member's state-independent stream-size estimate for
+// hosting the module, with an unknown module costed as free (never worth
+// protecting or prefetching).
+func restoreBytes(sys *platform.System, module string) int {
+	b, err := sys.RestoreEstimate(module)
+	if err != nil {
+		return 0
+	}
+	return b
+}
+
+// runSpeculative drives one speculative load to completion or abort and
+// records its outcome.
+func (s *Scheduler) runSpeculative(ms *memberState, mod string, tok *abortToken) {
+	defer s.specWG.Done()
+	rep, err := ms.m.Sys.LoadSpeculative(mod, tok.aborted)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ms.specBusy, ms.specModule, ms.specAbort = false, "", nil
+	st := &s.stats
+	st.PrefetchBytes += uint64(rep.Bytes)
+	st.PrefetchConfig += rep.Time
+	if rep.Bytes > 0 {
+		st.PrefetchLoads++
+	}
+	hitPending := ms.specHitPending
+	ms.specHitPending = false
+	switch {
+	case err == nil && rep.Kind != plan.StreamNone:
+		st.PrefetchCompleted++
+		switch {
+		case hitPending:
+			// A request is riding this stream to a hit right now.
+			st.PrefetchHits++
+			st.HiddenConfig += rep.Time
+		case tok.aborted():
+			// The stream outran its abort: a dispatch for a different
+			// module (or Wait) claimed the member while the last words
+			// were going out. The guessed resident is about to be
+			// overwritten — marking it prefetched now could outlive the
+			// preempting load's record and starve the member, so the
+			// bytes are waste directly.
+			st.PrefetchWasted += uint64(rep.Bytes)
+		default:
+			ms.prefetched = mod
+			ms.prefetchedBytes = rep.Bytes
+			ms.prefetchedTime = rep.Time
+		}
+	case err == nil:
+		// The module was already resident when the stream was about to be
+		// planned (a racing real load beat us to it): nothing streamed,
+		// nothing to consume — and any rider paid its own configuration.
+		st.PrefetchCompleted++
+	default:
+		// Aborted by a real dispatch, or (defensively) a failed plan:
+		// whatever was streamed is waste by definition.
+		st.PrefetchAborted++
+		st.PrefetchWasted += uint64(rep.Bytes)
+	}
+	if !ms.busy {
+		// The member is idle again (completed or abandoned stream with no
+		// real work waiting): a new dispatch round may find pending work it
+		// can now serve as a hit, or fresh prefetch opportunities.
+		s.dispatchLocked()
+	}
 }
 
 func (s *Scheduler) runBatch(ms *memberState, mi int, batch []*request) {
@@ -332,6 +700,20 @@ func (s *Scheduler) record(mi int, res Result) (seq uint64) {
 	} else {
 		st.Misses++
 		m.Misses++
+	}
+	// Consume the member's prefetched module: the first hit on it banks
+	// the speculative stream time as hidden; a real load replacing it
+	// books the speculative bytes as wasted.
+	if ms := s.members[mi]; ms.prefetched != "" {
+		switch {
+		case res.Report.CacheHit && res.Module == ms.prefetched:
+			st.PrefetchHits++
+			st.HiddenConfig += ms.prefetchedTime
+			ms.prefetched, ms.prefetchedBytes, ms.prefetchedTime = "", 0, 0
+		case res.Report.Kind != plan.StreamNone:
+			st.PrefetchWasted += uint64(ms.prefetchedBytes)
+			ms.prefetched, ms.prefetchedBytes, ms.prefetchedTime = "", 0, 0
+		}
 	}
 	if res.Err != nil {
 		st.Errors++
