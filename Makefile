@@ -1,4 +1,4 @@
-.PHONY: build test race vet fmt bench benchgate fuzz gobench sim sched
+.PHONY: build test race vet fmt bench benchgate fuzz regionsmoke gobench sim sched
 
 build:
 	go build ./...
@@ -17,10 +17,11 @@ fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 # Write the scheduler perf trajectory: the S2 placement comparison
-# (complete-only vs planner-backed, lru vs mincost) and the S3 prefetch
-# comparison (visible config time with and without speculative loads) on
-# the seeded 60-request mixed workload, as tables on stdout and
-# BENCH_sched.json.
+# (complete-only vs planner-backed, lru vs mincost), the S3 prefetch
+# comparison (visible config time with and without speculative loads) and
+# the S4 region-granularity comparison (single- vs dual-region boards at
+# equal total fabric) on the seeded 60-request mixed workload, as tables
+# on stdout and BENCH_sched.json.
 bench:
 	go run ./cmd/fpgad -compare -json BENCH_sched.json -sys32 2 -sys64 2 -n 60 -seed 7 -batch 4 \
 		-mix "sha1=1,jenkins=2,patternmatch=1,brightness=2,blend=2,fade=2,transfer=1"
@@ -28,9 +29,9 @@ bench:
 # CI bench-regression gate: rerun the comparison into a scratch file and
 # fail if visible config time or bytes streamed regress past tolerance
 # against the committed BENCH_sched.json on any configuration (15% on the
-# deterministic S3 rows; the concurrency-noisy S2 rows carry a wider
-# per-record band). After an intended perf change, run `make bench` and
-# commit the refreshed baseline.
+# deterministic S3 and S4 rows; the concurrency-noisy S2 rows carry a
+# wider per-record band). After an intended perf change, run `make bench`
+# and commit the refreshed baseline.
 benchgate:
 	go run ./cmd/fpgad -compare -json BENCH_fresh.json -sys32 2 -sys64 2 -n 60 -seed 7 -batch 4 \
 		-mix "sha1=1,jenkins=2,patternmatch=1,brightness=2,blend=2,fade=2,transfer=1"
@@ -38,9 +39,16 @@ benchgate:
 		rc=$$?; rm -f BENCH_fresh.json; exit $$rc
 
 # Fuzz smoke: the loader must reject damaged differential streams without
-# wedging (CRC or state-machine error, never silent misconfiguration).
+# wedging (CRC or state-machine error, never silent misconfiguration), and
+# multi-region differentials must stay inside their region's frame spans.
 fuzz:
 	go test -run '^$$' -fuzz FuzzLoaderDifferentialStream -fuzztime 10s ./internal/bitstream
+	go test -run '^$$' -fuzz FuzzRegionPlanner -fuzztime 10s ./internal/plan
+
+# Multi-region smoke: the per-region hazard gate, sibling-region hits and
+# speculative byte conservation under the race detector.
+regionsmoke:
+	go test -run Region -race ./...
 
 # Go benchmark harness (paper tables + scheduler economics).
 gobench:

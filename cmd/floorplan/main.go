@@ -1,11 +1,13 @@
 // Command floorplan renders the paper's figures: the generic architecture
-// (figure 1), the LUT-based bus macros (figure 2), and the floorplans of
-// the two systems (figures 3 and 4), derived from the actual simulated
-// device geometry.
+// (figure 1), the LUT-based bus macros (figure 2), the floorplans of the
+// two systems (figures 3 and 4), derived from the actual simulated device
+// geometry, and the multi-region generalization (figure 5: the 64-bit
+// dynamic area column-split into two independently reconfigurable
+// regions, the §4.1 "two separate dynamic areas" suggestion).
 //
 // Usage:
 //
-//	floorplan            # all four figures
+//	floorplan            # all five figures
 //	floorplan -fig 3     # one figure
 package main
 
@@ -16,6 +18,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/platform"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -23,7 +26,7 @@ func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 func run(args []string, out, errw io.Writer) int {
 	fs := flag.NewFlagSet("floorplan", flag.ContinueOnError)
 	fs.SetOutput(errw)
-	fig := fs.Int("fig", 0, "render a single figure (1-4)")
+	fig := fs.Int("fig", 0, "render a single figure (1-5)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -40,6 +43,13 @@ func run(args []string, out, errw io.Writer) int {
 			bench.Floorplan(out, bench.Sys32())
 		case 4:
 			bench.Floorplan(out, bench.Sys64())
+		case 5:
+			s, err := platform.NewSys64N(2)
+			if err != nil {
+				fmt.Fprintln(errw, "floorplan:", err)
+				return false
+			}
+			bench.Floorplan(out, s)
 		default:
 			fmt.Fprintf(errw, "floorplan: no figure %d\n", n)
 			return false
@@ -52,7 +62,7 @@ func run(args []string, out, errw io.Writer) int {
 		}
 		return 0
 	}
-	for n := 1; n <= 4; n++ {
+	for n := 1; n <= 5; n++ {
 		render(n)
 	}
 	return 0

@@ -13,7 +13,10 @@
 //	fpgad -plan=false                            # complete streams only
 //	fpgad -prefetch -window 1                    # speculative loads on idle members
 //	fpgad -prefetch -predictor freq              # frequency instead of markov
-//	fpgad -compare -json BENCH_sched.json        # S2 + S3 comparisons
+//	fpgad -regions 2                             # two dynamic regions per member
+//	fpgad -regions 2 floorplan                   # print the pool's floorplans and exit
+//	fpgad -arrivals                              # open-loop S5 latency percentiles
+//	fpgad -compare -json BENCH_sched.json        # S2 + S3 + S4 comparisons
 package main
 
 import (
@@ -52,8 +55,12 @@ func run(args []string, out, errw io.Writer) int {
 		"next-module predictor for -prefetch ("+strings.Join(predict.Names(), ", ")+")")
 	window := fs.Int("window", 0,
 		"max outstanding requests, submitted closed-loop (0 = submit all upfront)")
+	regions := fs.Int("regions", 1,
+		"independently reconfigurable regions per member (1 = the paper's fixed dynamic area)")
+	arrivals := fs.Bool("arrivals", false,
+		"also replay the measured service trace under open-loop Poisson/bursty arrivals (table S5)")
 	compare := fs.Bool("compare", false,
-		"run the S2 placement and S3 prefetch comparisons instead of a single run")
+		"run the S2 placement, S3 prefetch and S4 region comparisons instead of a single run")
 	jsonPath := fs.String("json", "", "write machine-readable per-configuration records to this file")
 	verbose := fs.Bool("v", false, "log every request")
 	if err := fs.Parse(args); err != nil {
@@ -62,12 +69,19 @@ func run(args []string, out, errw io.Writer) int {
 		}
 		return 2
 	}
+	if *regions < 1 {
+		fmt.Fprintf(errw, "fpgad: -regions %d: at least one region per member\n", *regions)
+		return 2
+	}
 	spec := bench.PlacementSpec{
-		Pool:  pool.Config{Sys32: *sys32, Sys64: *sys64},
+		Pool:  pool.Config{Sys32: *sys32, Sys64: *sys64, Regions: *regions},
 		Seed:  *seed,
 		N:     *n,
 		Mix:   *mixSpec,
 		Batch: *batch,
+	}
+	if fs.Arg(0) == "floorplan" {
+		return runFloorplan(spec.Pool, out, errw)
 	}
 	policy, err := sched.PolicyByName(*policyName)
 	if err != nil {
@@ -80,11 +94,11 @@ func run(args []string, out, errw io.Writer) int {
 		return 2
 	}
 	if *compare {
-		// The comparisons sweep every policy × stream-mode × prefetch
-		// configuration themselves, so a single-run selection would be
-		// misleading.
-		if *policyName != "lru" || !*planOn || *prefetchOn || *window != 0 {
-			fmt.Fprintln(errw, "fpgad: -compare runs all configurations; -policy/-plan/-prefetch/-window only apply to single runs")
+		// The comparisons sweep every policy × stream-mode × prefetch ×
+		// region configuration themselves, so a single-run selection would
+		// be misleading.
+		if *policyName != "lru" || !*planOn || *prefetchOn || *window != 0 || *regions != 1 || *arrivals {
+			fmt.Fprintln(errw, "fpgad: -compare runs all configurations; -policy/-plan/-prefetch/-window/-regions/-arrivals only apply to single runs")
 			return 2
 		}
 		return runCompare(spec, *jsonPath, out, errw)
@@ -122,15 +136,17 @@ func run(args []string, out, errw io.Writer) int {
 
 	s := sched.New(p, opts)
 	failed := 0
+	var results []sched.Result
 	report := func(r sched.Result) {
+		results = append(results, r)
 		if r.Err != nil {
 			failed++
 			fmt.Fprintf(errw, "fpgad: request %d (%s): %v\n", r.ID, r.Task, r.Err)
 			return
 		}
 		if *verbose {
-			fmt.Fprintf(out, "req %3d %-20s member %d (%s)  stream %-12s %8d B  config %-12v work %v\n",
-				r.ID, r.Task, r.Member, r.System, r.Report.Kind, r.Report.BytesStreamed,
+			fmt.Fprintf(out, "req %3d %-20s member %d/r%d (%s)  stream %-12s %8d B  config %-12v work %v\n",
+				r.ID, r.Task, r.Member, r.Region, r.System, r.Report.Kind, r.Report.BytesStreamed,
 				r.Report.Config, r.Report.Work)
 		}
 	}
@@ -146,23 +162,33 @@ func run(args []string, out, errw io.Writer) int {
 		fmt.Fprintln(out)
 	}
 	st := s.Stats()
-	bench.ThroughputTable(st).Format(out)
+	bench.ThroughputTable(st, results...).Format(out)
+	if *arrivals {
+		at, err := bench.ArrivalTable(spec, *seed, []float64{0.7, 0.95})
+		if err != nil {
+			fmt.Fprintln(errw, "fpgad:", err)
+			return 1
+		}
+		at.Format(out)
+	}
 	if *prefetchOn {
 		fmt.Fprintf(out, "prefetch: %d issued, %d hits, %d aborted; hidden config %v, speculative %d B (%d B wasted)\n",
 			st.PrefetchIssued, st.PrefetchHits, st.PrefetchAborted,
 			st.HiddenConfig, st.PrefetchBytes, st.PrefetchWasted)
 	}
 	for _, m := range p.Snapshot() {
-		state := "intact"
-		if m.Corrupted {
-			state = "CORRUPTED"
+		for _, r := range m.Regions {
+			state := "intact"
+			if r.Corrupted {
+				state = "CORRUPTED"
+			}
+			resident := r.Resident
+			if resident == "" {
+				resident = "(blank)"
+			}
+			fmt.Fprintf(out, "member %d (%s) %s: resident %-14s loads %-3d (%d complete / %d diff / %d aborted)  config time %-12v static %s\n",
+				m.ID, m.System, r.Region, resident, r.Loads, r.CompleteLoads, r.DiffLoads, r.AbortedLoads, r.LoadTime, state)
 		}
-		resident := m.Resident
-		if resident == "" {
-			resident = "(blank)"
-		}
-		fmt.Fprintf(out, "member %d (%s): resident %-14s loads %-3d (%d complete / %d diff / %d aborted)  config time %-12v static %s\n",
-			m.ID, m.System, resident, m.Loads, m.CompleteLoads, m.DiffLoads, m.AbortedLoads, m.LoadTime, state)
 	}
 	if *jsonPath != "" {
 		// Same label scheme as the -compare records, so trajectory
@@ -176,10 +202,13 @@ func run(args []string, out, errw io.Writer) int {
 		}
 		run := bench.PlacementRun{Label: label, Policy: policy.Name(), Planner: *planOn, Stats: st}
 		recs := bench.PlacementRecords([]bench.PlacementRun{run})
-		if *prefetchOn || *window > 0 {
+		if *prefetchOn || *window > 0 || *regions != 1 {
 			r := &recs[0]
 			r.Table = "single"
 			r.TolerancePct = 0
+			if *regions != 1 {
+				r.Label += fmt.Sprintf("+regions%d", *regions)
+			}
 			if *window > 0 {
 				r.Label += fmt.Sprintf("+window%d", *window)
 				r.Window = *window
@@ -208,8 +237,9 @@ func run(args []string, out, errw io.Writer) int {
 }
 
 // runCompare drives the same seeded workload under each placement
-// configuration (table S2) and each prefetch configuration (table S3),
-// optionally emitting the combined JSON records the CI bench gate diffs.
+// configuration (table S2), each prefetch configuration (table S3) and
+// each region granularity (table S4), optionally emitting the combined
+// JSON records the CI bench gate diffs.
 func runCompare(spec bench.PlacementSpec, jsonPath string, out, errw io.Writer) int {
 	fmt.Fprintf(out, "comparing configurations on the same workload: pool %d+%d, %d request(s), mix %s, batch %d, seed %d\n\n",
 		spec.Pool.Sys32, spec.Pool.Sys64, spec.N, spec.Mix, spec.Batch, spec.Seed)
@@ -226,13 +256,46 @@ func runCompare(spec bench.PlacementSpec, jsonPath string, out, errw io.Writer) 
 		return 1
 	}
 	bench.PrefetchTable(pruns).Format(out)
+	rspec := bench.DefaultRegionSpec()
+	rspec.Seed, rspec.N, rspec.Mix, rspec.Batch = spec.Seed, spec.N, spec.Mix, spec.Batch
+	rruns, err := bench.RegionRuns(rspec)
+	if err != nil {
+		fmt.Fprintln(errw, "fpgad:", err)
+		return 1
+	}
+	bench.RegionTable(rruns).Format(out)
 	if jsonPath != "" {
 		recs := append(bench.PlacementRecords(runs), bench.PrefetchRecords(pruns)...)
+		recs = append(recs, bench.RegionRecords(rruns)...)
 		if err := writeRecords(jsonPath, recs); err != nil {
 			fmt.Fprintln(errw, "fpgad:", err)
 			return 1
 		}
 		fmt.Fprintf(out, "wrote %s\n", jsonPath)
+	}
+	return 0
+}
+
+// runFloorplan prints every distinct floorplan of the pool configuration —
+// region geometry, dock placement and ICAP stream addressing — and exits.
+func runFloorplan(cfg pool.Config, out, errw io.Writer) int {
+	p, err := pool.New(cfg)
+	if err != nil {
+		fmt.Fprintln(errw, "fpgad:", err)
+		return 2
+	}
+	count := make(map[string]int)
+	for _, m := range p.Members() {
+		count[m.Sys.Name]++
+	}
+	seen := make(map[string]bool)
+	for _, m := range p.Members() {
+		if seen[m.Sys.Name] {
+			continue
+		}
+		seen[m.Sys.Name] = true
+		fmt.Fprintf(out, "floorplan of %s (%d member(s) in the pool):\n\n", m.Sys.Name, count[m.Sys.Name])
+		bench.Floorplan(out, m.Sys)
 	}
 	return 0
 }

@@ -43,6 +43,9 @@ func TestRunFlagAndMixParsing(t *testing.T) {
 		{"compare excludes plan", []string{"-compare", "-plan=false"}, "-compare"},
 		{"compare excludes prefetch", []string{"-compare", "-prefetch"}, "-compare"},
 		{"compare excludes window", []string{"-compare", "-window", "2"}, "-compare"},
+		{"compare excludes regions", []string{"-compare", "-regions", "2"}, "-compare"},
+		{"zero regions", []string{"-regions", "0"}, "at least one region"},
+		{"oversplit regions", []string{"-sys32", "1", "-regions", "20", "-n", "2"}, "cannot host"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -84,7 +87,7 @@ func TestRunFailsUnsupportedModule(t *testing.T) {
 	if code := run([]string{"-sys32", "1", "-n", "2", "-mix", "sha1=1"}, &out, &errw); code != 1 {
 		t.Fatalf("exit %d, want 1, stderr:\n%s", code, errw.String())
 	}
-	if !strings.Contains(errw.String(), "no member supports") {
+	if !strings.Contains(errw.String(), "no slot supports") {
 		t.Errorf("stderr: %s", errw.String())
 	}
 }
@@ -101,6 +104,55 @@ func TestRunPrefetchWindowed(t *testing.T) {
 	}
 	got := out.String()
 	for _, want := range []string{"prefetch on (freq)", "prefetch:", "hidden config", "aborted)", "policy prefetch"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunDualRegions drives a small workload over dual-region members and
+// checks the per-region member report lines.
+func TestRunDualRegions(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-sys32", "0", "-sys64", "1", "-regions", "2", "-n", "6",
+		"-mix", "brightness=1,fade=1", "-policy", "mincost", "-seed", "3"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"member 0 (sys64x2) dynamic64.a", "member 0 (sys64x2) dynamic64.b", "bitstream cache hit rate"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunFloorplanSubcommand prints the pool's floorplans and exits.
+func TestRunFloorplanSubcommand(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-sys32", "1", "-sys64", "1", "-regions", "2", "floorplan"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"floorplan of sys32x2", "floorplan of sys64x2",
+		"dynamic area dynamic64.a", "dynamic area dynamic32.b", "ICAP stream addressing"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunArrivals appends the open-loop S5 latency table.
+func TestRunArrivals(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-sys32", "1", "-n", "6", "-mix", "brightness=1,fade=1",
+		"-seed", "3", "-arrivals"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"S5 —", "poisson", "bursty", "p99"} {
 		if !strings.Contains(got, want) {
 			t.Errorf("output missing %q:\n%s", want, got)
 		}

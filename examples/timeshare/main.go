@@ -12,6 +12,13 @@
 // markov predictor learns the rotation and configures the idle board with
 // the next effect while the other computes: the reconfiguration time is
 // still paid, but off the critical path.
+//
+// The third act replays the same rotation on HALF the hardware: one 32-bit
+// board whose dynamic area is column-split into two independently
+// reconfigurable regions (-regions 2 in fpgad terms). The two regions form
+// the same two-entry bitstream cache the two boards did, and the prefetcher
+// speculates into the idle sibling region — one board now does what act two
+// needed a pool for.
 package main
 
 import (
@@ -102,4 +109,45 @@ func main() {
 		st.Hits, st.Done, st.Config)
 	fmt.Printf("prefetch: %d speculative loads, %d hits, hidden config %v, %d B speculative (%d B wasted)\n",
 		st.PrefetchIssued, st.PrefetchHits, st.HiddenConfig, st.PrefetchBytes, st.PrefetchWasted)
+
+	fmt.Println("\n--- the same rotation on ONE dual-region board ---")
+	p3, err := pool.New(pool.Config{Sys32: 1, Regions: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	board := p3.Members()[0].Sys
+	fmt.Printf("board %s: %d regions of %d CLBs each\n",
+		board.Name, board.NumRegions(), board.RegionAt(0).CLBs())
+	s3 := sched.New(p3, sched.Options{Prefetch: true})
+	for step := 0; step < 24; step++ {
+		var t tasks.Runner
+		switch step % 3 {
+		case 0:
+			t = tasks.FadeRun{Seed: int64(step), N: n, F: 32 * (step%8 + 1)}
+		case 1:
+			t = tasks.BrightnessRun{Seed: int64(step), N: n, Delta: 3 * (step % 10)}
+		default:
+			t = tasks.BlendRun{Seed: int64(step), N: n}
+		}
+		r := <-s3.Submit(t)
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		if step >= 21 {
+			note := "reconfigured on the request path"
+			if r.Report.CacheHit {
+				note = "predicted and preloaded on the sibling region"
+			}
+			fmt.Printf("req %2d: %-18s region %d  stream %-12s config=%-12v (%s)\n",
+				r.ID, r.Task, r.Region, r.Report.Kind, r.Report.Config, note)
+		}
+	}
+	s3.Wait()
+	st3 := s3.Stats()
+	fmt.Printf("\none dual-region board: %d/%d cache hits, visible config %v, hidden config %v\n",
+		st3.Hits, st3.Done, st3.Config, st3.HiddenConfig)
+	for _, r := range p3.Snapshot()[0].Regions {
+		fmt.Printf("  region %s: resident %-12s loads %d, static intact: %v\n",
+			r.Region, r.Resident, r.Loads, !r.Corrupted)
+	}
 }

@@ -107,7 +107,7 @@ func TestThroughputTableFromScheduledWorkload(t *testing.T) {
 	var buf bytes.Buffer
 	tb.Format(&buf)
 	if out := buf.String(); !strings.Contains(out, "bitstream cache hit rate") ||
-		!strings.Contains(out, "member 0 simulated busy time") {
+		!strings.Contains(out, "member 0 region 0 simulated busy time") {
 		t.Errorf("throughput table output:\n%s", out)
 	}
 }

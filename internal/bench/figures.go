@@ -5,8 +5,8 @@ import (
 	"io"
 	"strings"
 
-	"repro/internal/fabric"
 	"repro/internal/platform"
+	"repro/internal/region"
 )
 
 // Figure1 renders the generic system architecture of figure 1.
@@ -58,25 +58,43 @@ func Floorplan(w io.Writer, s *platform.System) {
 	if s.Is64 {
 		id, title = "F4", "The 64-bit system architecture (figure 4)"
 	}
+	if s.NumRegions() > 1 {
+		id = "F5"
+		title = fmt.Sprintf("Multi-region floorplan: %d independently reconfigurable areas (%s)", s.NumRegions(), s.Name)
+	}
 	fmt.Fprintf(w, "%s — %s\n\n", id, title)
 	d := s.Dev
-	r := s.Region
 	// One character per CLB column, one row per 4 CLB rows (top row first).
 	const rowStep = 4
-	fmt.Fprintf(w, "  device %s: %d x %d CLB sites, %d BRAMs; '#'=dynamic area, 'P'=PPC405, 'B'=BRAM column, '.'=static logic\n\n",
-		d.Name, d.Rows, d.Cols, d.BRAMCount())
+	mark := "'#'=dynamic area"
+	if s.NumRegions() > 1 {
+		mark = "digits=dynamic regions"
+	}
+	fmt.Fprintf(w, "  device %s: %d x %d CLB sites, %d BRAMs; %s, 'P'=PPC405, 'B'=BRAM column, '.'=static logic\n\n",
+		d.Name, d.Rows, d.Cols, d.BRAMCount(), mark)
 	bcol := make(map[int]bool)
 	for _, p := range d.BRAMColPos {
 		bcol[p] = true
+	}
+	regionAt := func(row, col int) int {
+		for ri := 0; ri < s.NumRegions(); ri++ {
+			if s.RegionAt(ri).ContainsSite(row, col) {
+				return ri
+			}
+		}
+		return -1
 	}
 	for row := d.Rows - rowStep; row >= 0; row -= rowStep {
 		var b strings.Builder
 		b.WriteString("  |")
 		for col := 0; col < d.Cols; col++ {
+			ri := regionAt(row, col)
 			switch {
 			case d.SiteDisplaced(row, col):
 				b.WriteByte('P')
-			case r.ContainsSite(row, col):
+			case ri >= 0 && s.NumRegions() > 1:
+				b.WriteByte(byte('0' + ri%10))
+			case ri >= 0:
 				b.WriteByte('#')
 			case bcol[col]:
 				b.WriteByte('B')
@@ -88,9 +106,15 @@ func Floorplan(w io.Writer, s *platform.System) {
 		fmt.Fprintln(w, b.String())
 	}
 	fmt.Fprintln(w)
-	fmt.Fprintf(w, "  dynamic area: cols [%d,%d) rows [%d,%d) = %d CLBs (%d slices, %.1f%% of device), %d BRAMs\n",
-		r.Col0, r.Col0+r.W, r.Row0, r.Row0+r.H, r.CLBs(), r.Slices(),
-		100*float64(r.Slices())/float64(d.SliceCount()), r.BRAMBudget)
+	for ri := 0; ri < s.NumRegions(); ri++ {
+		r := s.RegionAt(ri)
+		fmt.Fprintf(w, "  dynamic area %s: cols [%d,%d) rows [%d,%d) = %d CLBs (%d slices, %.1f%% of device), %d BRAMs\n",
+			r.Name, r.Col0, r.Col0+r.W, r.Row0, r.Row0+r.H, r.CLBs(), r.Slices(),
+			100*float64(r.Slices())/float64(d.SliceCount()), r.BRAMBudget)
+		for _, sp := range region.Spans(d, r) {
+			fmt.Fprintf(w, "    ICAP stream addressing: frames [%d,%d) (%d frames)\n", sp.Lo, sp.Hi, sp.Frames())
+		}
+	}
 	if s.Is64 {
 		fmt.Fprint(w, `
   CPU(300 MHz) == PLB(64b,100 MHz) ==+== DDR controller (512 MB)
@@ -110,5 +134,4 @@ func Floorplan(w io.Writer, s *platform.System) {
 
 `)
 	}
-	_ = fabric.FramesPerCLBColumn
 }

@@ -2,7 +2,6 @@ package bench
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/pool"
 	"repro/internal/predict"
@@ -83,29 +82,25 @@ func RunPrefetch(spec PrefetchSpec, policyName, predictorName string) (PrefetchR
 	// measures prediction quality rather than host scheduling jitter.
 	// Only meaningful fully sequential — with a wider window other
 	// requests are still executing by design.
-	settle := func() {
-		for !s.Drained() {
-			time.Sleep(50 * time.Microsecond)
-		}
-	}
 	var firstErr error
 	s.SubmitWindowed(w, window, func(r sched.Result) {
 		if r.Err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("bench: request %d (%s): %w", r.ID, r.Task, r.Err)
 		}
 		if window == 1 {
-			settle()
+			settle(s)
 		}
 	})
-	if firstErr != nil {
-		return run, firstErr
-	}
 	// Let the tail speculation land before Wait(): Wait aborts whatever is
 	// still in flight at a wall-clock-dependent point, which would make
 	// the speculative counters (completed/wasted) vary run to run and
-	// churn the committed baseline.
-	settle()
+	// churn the committed baseline. Quiescing precedes the error check so
+	// an errored run never leaks speculative goroutines to the caller.
+	settle(s)
 	s.Wait()
+	if firstErr != nil {
+		return run, firstErr
+	}
 	for _, m := range p.Snapshot() {
 		if m.Corrupted {
 			return run, fmt.Errorf("bench: member %d corrupted under %s", m.ID, label)

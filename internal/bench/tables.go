@@ -15,6 +15,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/ref"
 	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/tasks"
 )
 
@@ -544,18 +545,44 @@ func HazardTable(s *platform.System) *Table {
 
 // ThroughputTable renders scheduler statistics as table S1: per-module
 // request counts, bitstream-cache hits and misses, and the simulated-time
-// split between reconfiguration and work. Raw() carries the overall cache
-// hit rate followed by each member's simulated busy time in femtoseconds.
-func ThroughputTable(st sched.Stats) *Table {
+// split between reconfiguration and work. When the per-request results
+// are supplied, p50/p95/p99 service-latency columns appear next to the
+// counters. Raw() carries the overall cache hit rate followed by each
+// slot's simulated busy time in femtoseconds.
+func ThroughputTable(st sched.Stats, results ...sched.Result) *Table {
 	t := &Table{ID: "S1", Title: "Scheduler throughput and bitstream-cache behaviour",
 		Columns: []string{"module", "requests", "hits", "misses", "diff", "cmpl", "errors", "config time", "work time", "avg latency", "bytes"}}
+	lats := make(map[string][]sim.Time)
+	if len(results) > 0 {
+		t.Columns = append(t.Columns, "p50", "p95", "p99")
+		for _, r := range results {
+			if r.Err != nil && r.Member < 0 {
+				continue // submit-rejected: never occupied a slot
+			}
+			lats[r.Module] = append(lats[r.Module], r.Latency())
+			lats[""] = append(lats[""], r.Latency())
+		}
+	}
+	pcts := func(mod string) []string {
+		if len(results) == 0 {
+			return nil
+		}
+		l := lats[mod]
+		if len(l) == 0 {
+			// Every request for the module was rejected at submit: no
+			// latency was measured, matching the avg column's "-".
+			return []string{"-", "-", "-"}
+		}
+		p := Percentiles(l, 0.50, 0.95, 0.99)
+		return []string{fmtNS(float64(p[0])), fmtNS(float64(p[1])), fmtNS(float64(p[2]))}
+	}
 	mods := make([]string, 0, len(st.Modules))
 	for m := range st.Modules {
 		mods = append(mods, m)
 	}
 	sort.Strings(mods)
 	// Averages are over executed requests (hits+misses): submit-rejected
-	// requests never occupy a member, while an errored execution still
+	// requests never occupy a slot, while an errored execution still
 	// paid its configuration and partial work.
 	for _, mod := range mods {
 		ms := st.Modules[mod]
@@ -563,22 +590,28 @@ func ThroughputTable(st sched.Stats) *Table {
 		if n := ms.Hits + ms.Misses; n > 0 {
 			avg = fmtNS(float64(ms.Config+ms.Work) / float64(n))
 		}
-		t.AddRow(mod, fmt.Sprint(ms.Requests), fmt.Sprint(ms.Hits), fmt.Sprint(ms.Misses),
+		row := []string{mod, fmt.Sprint(ms.Requests), fmt.Sprint(ms.Hits), fmt.Sprint(ms.Misses),
 			fmt.Sprint(ms.Diffs), fmt.Sprint(ms.Completes),
 			fmt.Sprint(ms.Errors), fmtNS(float64(ms.Config)), fmtNS(float64(ms.Work)), avg,
-			fmt.Sprint(ms.Bytes))
+			fmt.Sprint(ms.Bytes)}
+		t.AddRow(append(row, pcts(mod)...)...)
 	}
 	avg := "-"
 	if n := st.Hits + st.Misses; n > 0 {
 		avg = fmtNS(float64(st.Config+st.Work) / float64(n))
 	}
-	t.AddRow("total", fmt.Sprint(st.Done), fmt.Sprint(st.Hits), fmt.Sprint(st.Misses),
+	total := []string{"total", fmt.Sprint(st.Done), fmt.Sprint(st.Hits), fmt.Sprint(st.Misses),
 		fmt.Sprint(st.DiffLoads), fmt.Sprint(st.CompleteLoads),
 		fmt.Sprint(st.Errors), fmtNS(float64(st.Config)), fmtNS(float64(st.Work)), avg,
-		fmt.Sprint(st.BytesStreamed))
+		fmt.Sprint(st.BytesStreamed)}
+	t.AddRow(append(total, pcts("")...)...)
 	t.rawNS = append(t.rawNS, st.HitRate())
 	for i, b := range st.BusyTime {
-		t.Notes = append(t.Notes, fmt.Sprintf("member %d simulated busy time: %s", i, fmtNS(float64(b))))
+		label := fmt.Sprintf("member %d", i)
+		if i < len(st.Slots) {
+			label = fmt.Sprintf("member %d region %d", st.Slots[i].Member, st.Slots[i].Region)
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf("%s simulated busy time: %s", label, fmtNS(float64(b))))
 		t.rawNS = append(t.rawNS, float64(b))
 	}
 	t.Notes = append(t.Notes,

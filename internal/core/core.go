@@ -24,9 +24,15 @@ import (
 
 // Config wires a Manager into a platform.
 type Config struct {
-	Device    *fabric.Device
-	Region    fabric.Region
-	ConfigMem *fabric.ConfigMemory
+	Device *fabric.Device
+	Region fabric.Region
+	// AllRegions lists every dynamic region of the device's floorplan,
+	// including Region itself. The static design is everything outside ALL
+	// of them: a sibling region's reconfiguration must not read as static
+	// corruption here. Empty means Region is the device's only dynamic
+	// area (the paper's fixed floorplan).
+	AllRegions []fabric.Region
+	ConfigMem  *fabric.ConfigMemory
 	// Baseline is the configuration image right after the initial full
 	// configuration (static design present, region blank).
 	Baseline *fabric.ConfigMemory
@@ -41,6 +47,43 @@ type Config struct {
 	Bind func(hw.Core)
 	// Kernel provides timing for configuration statistics.
 	Kernel *sim.Kernel
+	// StaticHashes, when set, is the device's shared static-hash
+	// memoizer: on a multi-region floorplan every manager's rebind runs
+	// after every configuration sequence, and without sharing each would
+	// recompute the identical O(device) hash. nil means the manager
+	// hashes directly (single-manager setups and tests).
+	StaticHashes *StaticHasher
+}
+
+// StaticHasher memoizes the static hash of one device's configuration
+// memory per completed configuration sequence, shared by every manager of
+// the device. Not safe for concurrent use on its own: callers serialize on
+// the system lock, like all simulated activity.
+type StaticHasher struct {
+	loader  *bitstream.Loader
+	cm      *fabric.ConfigMemory
+	regions []fabric.Region
+	valid   bool
+	configs uint64
+	hash    uint64
+}
+
+// NewStaticHasher returns a memoizer over the configuration memory,
+// excluding the given dynamic regions (the device's whole floorplan).
+func NewStaticHasher(loader *bitstream.Loader, cm *fabric.ConfigMemory, regions []fabric.Region) *StaticHasher {
+	return &StaticHasher{loader: loader, cm: cm, regions: regions}
+}
+
+// Hash returns the static hash as of the loader's current completed
+// configuration count, computing it at most once per sequence.
+func (h *StaticHasher) Hash() uint64 {
+	_, configs, _ := h.loader.Stats()
+	if !h.valid || configs != h.configs {
+		h.hash = h.cm.StaticHash(h.regions...)
+		h.configs = configs
+		h.valid = true
+	}
+	return h.hash
 }
 
 // entry is one registered module.
@@ -72,6 +115,12 @@ type Manager struct {
 	// stream be issued against it.
 	residentOK   bool
 	baselineHash uint64
+	// lastHash is the region hash observed by the last rebind. On a
+	// multi-region device every manager's rebind runs after every
+	// configuration sequence; an unchanged hash over an authoritative
+	// state means the stream belonged to a sibling region, so this
+	// region's binding and counters are left untouched.
+	lastHash uint64
 
 	// diffs caches assembled differential configurations per transition,
 	// so planning and repeated loads never re-run AssembleDifferential.
@@ -100,18 +149,25 @@ func NewManager(cfg Config) (*Manager, error) {
 		cfg.Bind == nil || cfg.Kernel == nil {
 		return nil, fmt.Errorf("core: incomplete manager configuration")
 	}
+	if len(cfg.AllRegions) == 0 {
+		cfg.AllRegions = []fabric.Region{cfg.Region}
+	}
 	m := &Manager{
 		cfg:          cfg,
 		modules:      make(map[string]*entry),
 		byHash:       make(map[uint64]*entry),
-		staticHash:   cfg.Baseline.StaticHash(cfg.Region),
+		staticHash:   cfg.Baseline.StaticHash(cfg.AllRegions...),
 		baselineHash: cfg.Baseline.RegionHash(cfg.Region),
 		diffs:        make(map[diffKey]*bitlinker.Result),
 		residentOK:   true, // the initial full configuration leaves the region blank
 	}
+	m.lastHash = m.baselineHash
 	cfg.Loader.OnDone(m.rebind)
 	return m, nil
 }
+
+// Region returns the dynamic area this manager owns.
+func (m *Manager) Region() fabric.Region { return m.cfg.Region }
 
 // Register adds a module: its relocatable component and behavioural factory.
 // The complete partial configuration is assembled once and cached; its
@@ -410,9 +466,24 @@ func (m *Manager) streamAbortable(s *bitstream.Stream, differential bool, stop f
 
 // rebind runs after every completed configuration sequence: it hashes the
 // region, binds the matching behavioural core (or a BrokenCore), and checks
-// the static design for disturbance.
+// the static design for disturbance. On a multi-region device the loader
+// fires every region's rebind; a sibling's stream leaves this region's
+// hash unchanged and is skipped, so only the affected region re-binds —
+// and an aborted stream (which never fires rebind) demotes only its own
+// region's resident state.
 func (m *Manager) rebind() {
 	h := m.cfg.ConfigMem.RegionHash(m.cfg.Region)
+	if h == m.lastHash && m.residentOK && !m.corrupted {
+		// Sibling-region stream (or a band-identical overwrite): keep this
+		// region's binding, but never skip the static-design check — a
+		// naively assembled stream can zero static rows while reproducing
+		// the resident band content exactly.
+		if m.liveStaticHash() != m.staticHash {
+			m.corrupted = true
+		}
+		return
+	}
+	m.lastHash = h
 	if e, ok := m.byHash[h]; ok {
 		e.loads++
 		m.current = e.comp.Name
@@ -432,7 +503,16 @@ func (m *Manager) rebind() {
 		m.residentOK = false
 		m.cfg.Bind(hw.NewBrokenCore(h))
 	}
-	if m.cfg.ConfigMem.StaticHash(m.cfg.Region) != m.staticHash {
+	if m.liveStaticHash() != m.staticHash {
 		m.corrupted = true
 	}
+}
+
+// liveStaticHash is the current static hash, through the shared memoizer
+// when the platform provided one.
+func (m *Manager) liveStaticHash() uint64 {
+	if m.cfg.StaticHashes != nil {
+		return m.cfg.StaticHashes.Hash()
+	}
+	return m.cfg.ConfigMem.StaticHash(m.cfg.AllRegions...)
 }

@@ -55,6 +55,12 @@ type Plan struct {
 	Module string
 	From   string
 	Kind   StreamKind
+	// Region names the dynamic region the plan targets ("" on a planner
+	// not bound to a region). On a multi-region device every stream is
+	// planned per (region, resident → wanted) pair: the same transition
+	// can cost differently on two regions, and the load path must issue
+	// the stream against the region the sizes were computed for.
+	Region string
 	// Bytes and Frames size the chosen stream (0 for StreamNone).
 	Bytes  int
 	Frames int
@@ -93,7 +99,8 @@ type pairEntry struct {
 
 // Planner chooses streams over one dynamic area. Safe for concurrent use.
 type Planner struct {
-	src Source
+	src    Source
+	region string
 
 	mu        sync.Mutex
 	complete  map[string]pairEntry // complete stream sizes by module
@@ -104,13 +111,24 @@ type Planner struct {
 
 // New returns a planner over the stream source.
 func New(src Source) *Planner {
+	return NewFor("", src)
+}
+
+// NewFor returns a planner bound to a named dynamic region: every plan it
+// produces carries the region, so multi-region load paths and reports can
+// tell sibling regions' streams apart.
+func NewFor(region string, src Source) *Planner {
 	return &Planner{
 		src:       src,
+		region:    region,
 		complete:  make(map[string]pairEntry),
 		pairs:     make(map[pairKey]pairEntry),
 		fsPerByte: DefaultFsPerByte,
 	}
 }
+
+// Region returns the dynamic region label the planner is bound to.
+func (p *Planner) Region() string { return p.region }
 
 // Plan returns the cheapest safe stream that makes want resident, given the
 // tracked resident state. authoritative reports whether the tracked state
@@ -121,13 +139,14 @@ func (p *Planner) Plan(resident string, authoritative bool, want string) (Plan, 
 		return Plan{}, fmt.Errorf("plan: unknown module %q", want)
 	}
 	if authoritative && resident == want {
-		return Plan{Module: want, From: resident, Kind: StreamNone}, nil
+		return Plan{Module: want, From: resident, Kind: StreamNone, Region: p.region}, nil
 	}
 	cb, cf, err := p.completeSize(want)
 	if err != nil {
 		return Plan{}, err
 	}
-	full := Plan{Module: want, Kind: StreamComplete, Bytes: cb, Frames: cf, Est: p.estimate(cb)}
+	full := Plan{Module: want, Kind: StreamComplete, Bytes: cb, Frames: cf,
+		Est: p.estimate(cb), Region: p.region}
 	if !authoritative {
 		return full, nil
 	}
@@ -139,7 +158,7 @@ func (p *Planner) Plan(resident string, authoritative bool, want string) (Plan, 
 		return full, nil
 	}
 	return Plan{Module: want, From: resident, Kind: StreamDifferential,
-		Bytes: db, Frames: df, Est: p.estimate(db)}, nil
+		Bytes: db, Frames: df, Est: p.estimate(db), Region: p.region}, nil
 }
 
 // Observe calibrates the per-byte cost model with a measured load. The

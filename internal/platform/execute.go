@@ -9,13 +9,15 @@ import (
 	"repro/internal/sim"
 )
 
-// ConfigReport describes one reconfiguration of the dynamic area: which
+// ConfigReport describes one reconfiguration of a dynamic region: which
 // stream kind the planner chose (no-op, differential or complete), how many
 // bytes went through the HWICAP and how long the configuration took in
 // simulated time. Aborted marks a speculative stream that was stopped at a
-// safe boundary; Bytes then counts only the words actually pushed.
+// safe boundary; Bytes then counts only the words actually pushed. Region
+// names the dynamic region the stream targeted.
 type ConfigReport struct {
 	Module  string
+	Region  string
 	Kind    plan.StreamKind
 	Bytes   int
 	Frames  int
@@ -24,11 +26,13 @@ type ConfigReport struct {
 }
 
 // ExecReport describes one task execution on a system: how the requested
-// module got into the dynamic area (StreamNone is a bitstream cache hit —
+// module got into its dynamic region (StreamNone is a bitstream cache hit —
 // no ICAP traffic) and the simulated time split between reconfiguration and
 // useful work.
 type ExecReport struct {
 	Module string
+	// Region names the dynamic region the task executed on.
+	Region string
 	// CacheHit reports that the module was already resident (Kind ==
 	// plan.StreamNone).
 	CacheHit bool
@@ -43,32 +47,63 @@ type ExecReport struct {
 // Latency is the simulated time the request occupied the system.
 func (r ExecReport) Latency() sim.Time { return r.Config + r.Work }
 
-// Resident returns the name of the module currently configured in the
-// dynamic area — "" when blank, corrupted, or when the tracked state is
-// not authoritative (e.g. after an aborted speculative stream left partial
+// Resident returns the name of the module currently configured in region 0
+// — "" when blank, corrupted, or when the tracked state is not
+// authoritative (e.g. after an aborted speculative stream left partial
 // region content), so callers can treat it as a bitstream-cache key.
 // Unlike Mgr.Current it is safe to call while another goroutine is inside
 // Execute.
-func (s *System) Resident() string {
+func (s *System) Resident() string { return s.ResidentOn(0) }
+
+// ResidentOn returns the authoritative resident module of the given
+// region, under the same contract as Resident.
+func (s *System) ResidentOn(ri int) string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	r, ok := s.Mgr.ResidentState()
+	r, ok := s.regions[ri].mgr.ResidentState()
 	if !ok {
 		return ""
 	}
 	return r
 }
 
-// Supports reports whether the named module fits this system's dynamic
-// area (SHA-1, for instance, does not fit the 32-bit system).
+// Supports reports whether the named module fits any of this system's
+// dynamic regions (SHA-1, for instance, does not fit the 32-bit system).
 func (s *System) Supports(module string) bool {
-	return s.Mgr.Has(module)
+	for _, rs := range s.regions {
+		if rs.mgr.Has(module) {
+			return true
+		}
+	}
+	return false
 }
 
-// Status is a consistent snapshot of the system's reconfiguration state.
+// SupportsOn reports whether the named module fits the given region — on
+// an uneven floorplan a module can fit one region and not its sibling
+// (e.g. a region with no enclosed BRAM columns cannot host patternmatch).
+func (s *System) SupportsOn(ri int, module string) bool {
+	return s.regions[ri].mgr.Has(module)
+}
+
+// Status is a consistent snapshot of the system's reconfiguration state,
+// summed over every dynamic region. Resident is region 0's authoritative
+// resident — the whole fabric of a single-region system.
 type Status struct {
 	Resident      string
 	Now           sim.Time
+	Loads         uint64
+	LoadTime      sim.Time
+	StreamedBytes uint64
+	CompleteLoads uint64
+	DiffLoads     uint64
+	AbortedLoads  uint64
+	Corrupted     bool
+}
+
+// RegionStatus is one region's slice of the system status.
+type RegionStatus struct {
+	Region        string
+	Resident      string
 	Loads         uint64
 	LoadTime      sim.Time
 	StreamedBytes uint64
@@ -86,117 +121,174 @@ type Status struct {
 func (s *System) Status() Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	loads, loadTime, bytes := s.Mgr.Stats()
-	complete, diff := s.Mgr.LoadKinds()
-	resident, ok := s.Mgr.ResidentState()
-	if !ok {
-		resident = ""
+	var st Status
+	for i, rs := range s.regions {
+		loads, loadTime, bytes := rs.mgr.Stats()
+		complete, diff := rs.mgr.LoadKinds()
+		st.Loads += loads
+		st.LoadTime += loadTime
+		st.StreamedBytes += bytes
+		st.CompleteLoads += complete
+		st.DiffLoads += diff
+		st.AbortedLoads += rs.mgr.AbortedLoads()
+		st.Corrupted = st.Corrupted || rs.mgr.Corrupted()
+		if i == 0 {
+			if r, ok := rs.mgr.ResidentState(); ok {
+				st.Resident = r
+			}
+		}
 	}
-	return Status{
-		Resident:      resident,
-		Now:           s.K.Now(),
-		Loads:         loads,
-		LoadTime:      loadTime,
-		StreamedBytes: bytes,
-		CompleteLoads: complete,
-		DiffLoads:     diff,
-		AbortedLoads:  s.Mgr.AbortedLoads(),
-		Corrupted:     s.Mgr.Corrupted(),
-	}
+	st.Now = s.K.Now()
+	return st
 }
 
-// SetPlanning toggles the differential-stream planner for this system.
-// With planning off, every cache miss streams the complete configuration —
-// the pre-planner behaviour, kept as the comparison baseline.
+// RegionStatuses reports every region's resident module and manager
+// counters under the system lock.
+func (s *System) RegionStatuses() []RegionStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RegionStatus, len(s.regions))
+	for i, rs := range s.regions {
+		loads, loadTime, bytes := rs.mgr.Stats()
+		complete, diff := rs.mgr.LoadKinds()
+		resident, ok := rs.mgr.ResidentState()
+		if !ok {
+			resident = ""
+		}
+		out[i] = RegionStatus{
+			Region:        rs.area.R.Name,
+			Resident:      resident,
+			Loads:         loads,
+			LoadTime:      loadTime,
+			StreamedBytes: bytes,
+			CompleteLoads: complete,
+			DiffLoads:     diff,
+			AbortedLoads:  rs.mgr.AbortedLoads(),
+			Corrupted:     rs.mgr.Corrupted(),
+		}
+	}
+	return out
+}
+
+// SetPlanning toggles the differential-stream planner for every region of
+// this system. With planning off, every cache miss streams the complete
+// configuration — the pre-planner behaviour, kept as the comparison
+// baseline.
 func (s *System) SetPlanning(on bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.planning = on
+	for _, rs := range s.regions {
+		rs.planning = on
+	}
 }
 
-// PlanFor returns the stream the system would issue right now to make the
-// module resident, without loading anything. Safe to call while another
-// goroutine is inside Execute; cost-aware schedulers use it to compare idle
-// members.
+// PlanFor returns the stream region 0 would issue right now to make the
+// module resident, without loading anything.
 func (s *System) PlanFor(module string) (plan.Plan, error) {
+	return s.PlanForOn(0, module)
+}
+
+// PlanForOn returns the stream the given region would issue right now to
+// make the module resident, without loading anything. Safe to call while
+// another goroutine is inside Execute; cost-aware schedulers use it to
+// compare idle (member, region) pairs.
+func (s *System) PlanForOn(ri int, module string) (plan.Plan, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.planFor(module, s.planning)
+	rs := s.regions[ri]
+	return s.planFor(rs, module, rs.planning)
 }
 
 // planFor chooses the stream under the system lock. With usePlanner false
 // the authoritative flag is narrowed so only the no-op (already resident)
 // and complete streams remain — the state-independent baseline.
-func (s *System) planFor(module string, usePlanner bool) (plan.Plan, error) {
-	resident, authoritative := s.Mgr.ResidentState()
+func (s *System) planFor(rs *regionSlot, module string, usePlanner bool) (plan.Plan, error) {
+	resident, authoritative := rs.mgr.ResidentState()
 	if !usePlanner {
 		authoritative = authoritative && resident == module
 	}
-	return s.Planner.Plan(resident, authoritative, module)
+	return rs.planner.Plan(resident, authoritative, module)
 }
 
-// loadWith plans and executes one reconfiguration. Must run under the
-// system lock (or on a single-threaded system): planning and loading are
-// one atomic step, so the plan's assumed from-state cannot go stale between
-// the choice and the stream — the manager still re-verifies it.
-func (s *System) loadWith(name string, usePlanner bool) (ConfigReport, error) {
-	p, err := s.planFor(name, usePlanner)
+// loadWith plans and executes one reconfiguration of the slot's region.
+// Must run under the system lock (or on a single-threaded system):
+// planning and loading are one atomic step, so the plan's assumed
+// from-state cannot go stale between the choice and the stream — the
+// manager still re-verifies it.
+func (s *System) loadWith(rs *regionSlot, name string, usePlanner bool) (ConfigReport, error) {
+	p, err := s.planFor(rs, name, usePlanner)
 	if err != nil {
-		return ConfigReport{Module: name}, err
+		return ConfigReport{Module: name, Region: rs.area.R.Name}, err
 	}
-	t, err := s.Mgr.LoadPlanned(p)
-	r := ConfigReport{Module: name, Kind: p.Kind, Bytes: p.Bytes, Frames: p.Frames, Time: t}
+	t, err := rs.mgr.LoadPlanned(p)
+	r := ConfigReport{Module: name, Region: rs.area.R.Name,
+		Kind: p.Kind, Bytes: p.Bytes, Frames: p.Frames, Time: t}
 	if err != nil {
 		return r, err
 	}
-	if s.Mgr.Current() != name {
-		return r, fmt.Errorf("platform: after loading %s the region binds %q", name, s.Mgr.Current())
+	if rs.mgr.Current() != name {
+		return r, fmt.Errorf("platform: after loading %s region %s binds %q",
+			name, rs.area.R.Name, rs.mgr.Current())
 	}
 	if p.Kind != plan.StreamNone {
-		s.Planner.Observe(p.Bytes, t)
+		rs.planner.Observe(p.Bytes, t)
 	}
 	return r, nil
 }
 
-// RestoreEstimate returns the planner's state-independent estimate, in
-// stream bytes, of re-hosting the module later: the (blank → module)
-// differential, falling back to the complete stream when no differential
-// exists. A prefetcher weighs a speculative eviction by what bringing each
-// side back would cost — a wide, rarely-requested module (sha1) is worth
-// protecting over a narrow frequent one precisely because every transition
-// involving it streams its full width.
+// RestoreEstimate returns region 0's state-independent restore estimate.
 func (s *System) RestoreEstimate(module string) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if b, ok := s.Planner.PairBytes("", module); ok {
-		return b, nil
-	}
-	return s.Planner.CompleteBytes(module)
+	return s.RestoreEstimateOn(0, module)
 }
 
-// LoadSpeculative brings a module into the dynamic area ahead of any
-// request — the prefetch half of overlapping reconfiguration with
-// computation. It plans like LoadModule but issues the stream through the
-// abortable path, polling stop at safe boundaries, so a real request that
-// wants the system never waits for a full speculative stream: it triggers
-// stop and takes the system lock as soon as the stream parks. On abort the
-// report carries the partial byte count and Aborted=true, the resident
-// state is demoted to non-authoritative, and core.ErrAborted is returned —
-// the §2.2 hazard gate then forces the next load to stream a complete
-// configuration, so a stale speculative resident can never be executed
-// against.
-func (s *System) LoadSpeculative(name string, stop func() bool) (ConfigReport, error) {
+// RestoreEstimateOn returns the planner's state-independent estimate, in
+// stream bytes, of re-hosting the module on the given region later: the
+// (blank → module) differential, falling back to the complete stream when
+// no differential exists. A prefetcher weighs a speculative eviction by
+// what bringing each side back would cost — a wide, rarely-requested
+// module (sha1) is worth protecting over a narrow frequent one precisely
+// because every transition involving it streams its full width.
+func (s *System) RestoreEstimateOn(ri int, module string) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	rs := s.regions[ri]
+	if b, ok := rs.planner.PairBytes("", module); ok {
+		return b, nil
+	}
+	return rs.planner.CompleteBytes(module)
+}
+
+// LoadSpeculative speculatively configures region 0; see LoadSpeculativeOn.
+func (s *System) LoadSpeculative(name string, stop func() bool) (ConfigReport, error) {
+	return s.LoadSpeculativeOn(0, name, stop)
+}
+
+// LoadSpeculativeOn brings a module into the given region ahead of any
+// request — the prefetch half of overlapping reconfiguration with
+// computation. It plans like LoadModuleOn but issues the stream through
+// the abortable path, polling stop at safe boundaries, so a real request
+// that wants the region never waits for a full speculative stream: it
+// triggers stop and takes the system lock as soon as the stream parks. On
+// abort the report carries the partial byte count and Aborted=true, the
+// region's resident state is demoted to non-authoritative, and
+// core.ErrAborted is returned — the §2.2 hazard gate then forces the next
+// load of THIS region onto a complete stream (sibling regions keep their
+// authoritative state), so a stale speculative resident can never be
+// executed against.
+func (s *System) LoadSpeculativeOn(ri int, name string, stop func() bool) (ConfigReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rs := s.regions[ri]
 	if stop != nil && stop() {
-		return ConfigReport{Module: name, Aborted: true}, core.ErrAborted
+		return ConfigReport{Module: name, Region: rs.area.R.Name, Aborted: true}, core.ErrAborted
 	}
-	p, err := s.planFor(name, s.planning)
+	p, err := s.planFor(rs, name, rs.planning)
 	if err != nil {
-		return ConfigReport{Module: name}, err
+		return ConfigReport{Module: name, Region: rs.area.R.Name}, err
 	}
-	t, bytes, err := s.Mgr.LoadPlannedAbortable(p, stop)
-	r := ConfigReport{Module: name, Kind: p.Kind, Bytes: bytes, Frames: p.Frames, Time: t}
+	t, bytes, err := rs.mgr.LoadPlannedAbortable(p, stop)
+	r := ConfigReport{Module: name, Region: rs.area.R.Name,
+		Kind: p.Kind, Bytes: bytes, Frames: p.Frames, Time: t}
 	if errors.Is(err, core.ErrAborted) {
 		r.Aborted = true
 		return r, err
@@ -204,27 +296,38 @@ func (s *System) LoadSpeculative(name string, stop func() bool) (ConfigReport, e
 	if err != nil {
 		return r, err
 	}
-	if s.Mgr.Current() != name {
-		return r, fmt.Errorf("platform: after speculative load of %s the region binds %q", name, s.Mgr.Current())
+	if rs.mgr.Current() != name {
+		return r, fmt.Errorf("platform: after speculative load of %s region %s binds %q",
+			name, rs.area.R.Name, rs.mgr.Current())
 	}
 	if p.Kind != plan.StreamNone {
-		s.Planner.Observe(bytes, t)
+		rs.planner.Observe(bytes, t)
 	}
 	return r, nil
 }
 
-// Execute reconfigures the dynamic area with the named module (planner
-// chooses the cheapest safe stream; no ICAP traffic when it is already
-// resident) and then runs fn, which must drive this system only. All
-// simulated activity is serialized under the system lock, so a pool of
-// systems can be executed from concurrent goroutines as long as each call
-// names the system it drives.
+// Execute runs the module on region 0; see ExecuteOn.
 func (s *System) Execute(module string, fn func() error) (ExecReport, error) {
+	return s.ExecuteOn(0, module, fn)
+}
+
+// ExecuteOn reconfigures the given region with the named module (planner
+// chooses the cheapest safe stream; no ICAP traffic when it is already
+// resident) and then runs fn, which must drive this system only. The
+// region becomes the active one for the duration: DockBase/DockData/
+// DockIRQ/Core inside fn address its dock. All simulated activity is
+// serialized under the system lock, so a pool of systems can be executed
+// from concurrent goroutines as long as each call names the system it
+// drives — two regions of one system interleave rather than overlap.
+func (s *System) ExecuteOn(ri int, module string, fn func() error) (ExecReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cfg, err := s.loadWith(module, s.planning)
+	rs := s.regions[ri]
+	s.active = ri
+	cfg, err := s.loadWith(rs, module, rs.planning)
 	r := ExecReport{
 		Module: module,
+		Region: rs.area.R.Name,
 		// A failed load is never a cache hit: the zero ConfigReport of a
 		// planning error carries StreamNone without meaning it.
 		CacheHit:      err == nil && cfg.Kind == plan.StreamNone,
@@ -233,10 +336,12 @@ func (s *System) Execute(module string, fn func() error) (ExecReport, error) {
 		Config:        cfg.Time,
 	}
 	if err != nil {
+		s.active = 0
 		return r, err
 	}
 	start := s.K.Now()
 	err = fn()
 	r.Work = s.K.Now() - start
+	s.active = 0
 	return r, err
 }

@@ -1,12 +1,12 @@
 package platform
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/bitlinker"
 	"repro/internal/bitstream"
 	"repro/internal/bus"
-	"repro/internal/busmacro"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/dock"
@@ -17,9 +17,42 @@ import (
 	"repro/internal/intc"
 	"repro/internal/memctl"
 	"repro/internal/plan"
+	"repro/internal/region"
 	"repro/internal/sim"
 	"repro/internal/uart"
 )
+
+// regionSlot is one dynamic area of the system's floorplan: its own dock
+// (at a strided bus address and interrupt line), reconfiguration manager,
+// stream planner and planning mode. All slots share the device's single
+// configuration port — streams into sibling regions serialize on the
+// system lock like every other simulated activity.
+type regionSlot struct {
+	area     region.Area
+	mgr      *core.Manager
+	planner  *plan.Planner
+	dockBase uint32
+	irqLine  int
+	dock32   *dock.OPBDock
+	dock64   *dock.PLBDock
+	planning bool
+	skipped  []string
+}
+
+func (rs *regionSlot) bind(c hw.Core) {
+	if rs.dock64 != nil {
+		rs.dock64.SetCore(c)
+		return
+	}
+	rs.dock32.SetCore(c)
+}
+
+func (rs *regionSlot) core() hw.Core {
+	if rs.dock64 != nil {
+		return rs.dock64.Core()
+	}
+	return rs.dock32.Core()
+}
 
 // System is one fully assembled platform.
 type System struct {
@@ -42,24 +75,28 @@ type System struct {
 	GPIO *GPIO
 	INTC *intc.Controller // nil on Sys32
 
-	Dock32 *dock.OPBDock // nil on Sys64
-	Dock64 *dock.PLBDock // nil on Sys32
+	Dock32 *dock.OPBDock // region 0's dock; nil on Sys64
+	Dock64 *dock.PLBDock // region 0's dock; nil on Sys32
 
-	Dev    *fabric.Device
-	Region fabric.Region
-	CM     *fabric.ConfigMemory
-	ICAP   *icap.HWICAP
-	Mgr    *core.Manager
+	Dev  *fabric.Device
+	CM   *fabric.ConfigMemory
+	ICAP *icap.HWICAP
 
-	// Planner chooses the cheapest safe configuration stream for every
-	// module transition (differential when the resident state is
-	// authoritative, complete otherwise); planning toggles whether the
-	// load path consults it.
-	Planner  *plan.Planner
-	planning bool
+	// Floorplan is the device's set of dynamic areas. Region, Mgr and
+	// Planner alias region 0 — the paper's fixed dynamic area, and the
+	// whole fabric of a single-region system.
+	Floorplan region.Floorplan
+	Region    fabric.Region
+	Mgr       *core.Manager
+	Planner   *plan.Planner
 
-	// Skipped lists modules that do not fit the dynamic area (SHA-1 on the
-	// 32-bit system).
+	regions []*regionSlot
+	// active is the region index task code drives through DockBase/
+	// DockData/DockIRQ/Core; ExecuteOn sets it under the system lock.
+	active int
+
+	// Skipped lists modules that do not fit region 0 (SHA-1 on the 32-bit
+	// system). Per-region fit lives on the slots (SupportsOn).
 	Skipped []string
 
 	Timing Timing
@@ -67,7 +104,8 @@ type System struct {
 	// mu serializes simulated activity. A System models one board: its
 	// kernel, CPU and manager are single-threaded, so concurrent users
 	// (the scheduler's pool workers) must go through Execute/Resident,
-	// which take this lock.
+	// which take this lock. Two regions of one board never compute
+	// simultaneously — sibling activity interleaves on this lock.
 	mu sync.Mutex
 }
 
@@ -101,18 +139,62 @@ func (g *GPIO) Write(addr uint32, val uint64, size int) int {
 // and OPB at 50 MHz, external SRAM and the dynamic region's OPB Dock behind
 // the PLB→OPB bridge.
 func NewSys32() (*System, error) {
-	return build("sys32", false, Sys32Timing())
+	return build("sys32", false, Sys32Timing(), region.Single32())
 }
 
 // NewSys64 assembles the 64-bit system of §4: XC2VP30, CPU at 300 MHz,
 // buses at 100 MHz, DDR and the PLB Dock (with DMA, output FIFO and
 // interrupt generator) directly on the 64-bit PLB.
 func NewSys64() (*System, error) {
-	return build("sys64", true, Sys64Timing())
+	return build("sys64", true, Sys64Timing(), region.Single64())
 }
 
-func build(name string, is64 bool, tm Timing) (*System, error) {
-	s := &System{Name: name, Is64: is64, Timing: tm}
+// NewSys32N assembles the 32-bit system with its dynamic area split into n
+// independently reconfigurable regions (n = 1 is exactly NewSys32).
+func NewSys32N(n int) (*System, error) {
+	fp, err := region.Default(false, n)
+	if err != nil {
+		return nil, err
+	}
+	return build(sysName("sys32", n), false, Sys32Timing(), fp)
+}
+
+// NewSys64N assembles the 64-bit system with its dynamic area split into n
+// independently reconfigurable regions (n = 1 is exactly NewSys64).
+func NewSys64N(n int) (*System, error) {
+	fp, err := region.Default(true, n)
+	if err != nil {
+		return nil, err
+	}
+	return build(sysName("sys64", n), true, Sys64Timing(), fp)
+}
+
+// NewSystem assembles a system over an explicit floorplan — the escape
+// hatch benchmark pools use to compare region granularities at equal total
+// fabric.
+func NewSystem(is64 bool, fp region.Floorplan) (*System, error) {
+	name, tm := "sys32", Sys32Timing()
+	if is64 {
+		name, tm = "sys64", Sys64Timing()
+	}
+	return build(sysName(name, len(fp.Areas)), is64, tm, fp)
+}
+
+func sysName(base string, n int) string {
+	if n == 1 {
+		return base
+	}
+	return fmt.Sprintf("%sx%d", base, n)
+}
+
+// Dock window strides: region i's dock sits i windows above region 0's.
+const (
+	dock32Stride = 1 << 12
+	dock64Stride = 1 << 16
+)
+
+func build(name string, is64 bool, tm Timing, fp region.Floorplan) (*System, error) {
+	s := &System{Name: name, Is64: is64, Timing: tm, Floorplan: fp}
 	s.K = sim.NewKernel()
 	s.CPUClk = sim.NewClock("cpu", tm.CPUHz)
 	s.BusClk = sim.NewClock("bus", tm.BusHz)
@@ -122,20 +204,20 @@ func build(name string, is64 bool, tm Timing) (*System, error) {
 	s.Bridge = bus.NewBridge(s.PLB, s.OPB, bridgeBase, tm.BridgeRequestCycles, tm.BridgePostDepth)
 
 	// Fabric and configuration path.
-	var macro *busmacro.Macro
 	if is64 {
-		s.Dev, s.Region, macro = fabric.XC2VP30(), fabric.DynamicRegion64(), busmacro.Dock64()
+		s.Dev = fabric.XC2VP30()
 	} else {
-		s.Dev, s.Region, macro = fabric.XC2VP7(), fabric.DynamicRegion32(), busmacro.Dock32()
+		s.Dev = fabric.XC2VP7()
 	}
 	if err := s.Dev.Validate(); err != nil {
 		return nil, err
 	}
-	if err := s.Dev.ValidateRegion(s.Region); err != nil {
+	if err := fp.Validate(s.Dev); err != nil {
 		return nil, err
 	}
+	s.Region = fp.Areas[0].R
 	s.CM = fabric.NewConfigMemory(s.Dev)
-	loadStaticDesign(s.CM, s.Region)
+	loadStaticDesign(s.CM, fp.Regions())
 	baseline := s.CM.Clone()
 	loader := bitstream.NewLoader(s.CM)
 	s.ICAP = icap.New(s.K, s.BusClk, loader)
@@ -180,21 +262,26 @@ func build(name string, is64 bool, tm Timing) (*System, error) {
 		return nil, err
 	}
 
-	// Docks.
-	var bind func(hw.Core)
-	if is64 {
-		s.Dock64 = dock.NewPLBDock(s.K, s.PLB, s.INTC, DockIRQLine, tm.DockReadWaits, tm.DockWriteWaits)
-		if err := s.PLB.Map(AddrDock64, 1<<16, s.Dock64); err != nil {
-			return nil, err
+	// One dock per dynamic region, at strided windows and interrupt lines.
+	for i, a := range fp.Areas {
+		rs := &regionSlot{area: a, irqLine: DockIRQLine + i}
+		if is64 {
+			rs.dockBase = AddrDock64 + uint32(i)*dock64Stride
+			rs.dock64 = dock.NewPLBDock(s.K, s.PLB, s.INTC, rs.irqLine, tm.DockReadWaits, tm.DockWriteWaits)
+			if err := s.PLB.Map(rs.dockBase, dock64Stride, rs.dock64); err != nil {
+				return nil, err
+			}
+		} else {
+			rs.dockBase = AddrDock32 + uint32(i)*dock32Stride
+			rs.dock32 = dock.NewOPBDock(tm.DockReadWaits, tm.DockWriteWaits)
+			if err := s.OPB.Map(rs.dockBase, dock32Stride, rs.dock32); err != nil {
+				return nil, err
+			}
 		}
-		bind = s.Dock64.SetCore
-	} else {
-		s.Dock32 = dock.NewOPBDock(tm.DockReadWaits, tm.DockWriteWaits)
-		if err := s.OPB.Map(AddrDock32, 1<<12, s.Dock32); err != nil {
-			return nil, err
-		}
-		bind = s.Dock32.SetCore
+		s.regions = append(s.regions, rs)
 	}
+	s.Dock32 = s.regions[0].dock32
+	s.Dock64 = s.regions[0].dock64
 
 	// CPU.
 	params := cpu.DefaultParams(s.CPUClk)
@@ -206,62 +293,83 @@ func build(name string, is64 bool, tm Timing) (*System, error) {
 		s.CPU.MapCacheable(AddrDDR, uint32(s.ExtMem.Size()))
 	}
 	// Device windows are guarded storage: stores to them do not post.
-	s.CPU.MapGuarded(AddrDock32, 0x0500_0000) // dock, HWICAP, UART, GPIO, INTC
+	s.CPU.MapGuarded(AddrDock32, 0x0500_0000) // docks, HWICAP, UART, GPIO, INTC
 	if is64 {
-		s.CPU.MapGuarded(AddrDock64, 1<<16)
+		s.CPU.MapGuarded(AddrDock64, uint32(len(fp.Areas))*dock64Stride)
 	}
 
-	// Reconfiguration manager.
-	asm, err := bitlinker.New(s.Dev, s.Region, baseline, macro)
-	if err != nil {
-		return nil, err
-	}
-	s.Mgr, err = core.NewManager(core.Config{
-		Device:    s.Dev,
-		Region:    s.Region,
-		ConfigMem: s.CM,
-		Baseline:  baseline,
-		Assembler: asm,
-		Loader:    loader,
-		CPU:       s.CPU,
-		ICAPBase:  AddrICAP,
-		Bind:      bind,
-		Kernel:    s.K,
-	})
-	if err != nil {
-		return nil, err
-	}
-	for _, spec := range hwcore.Specs() {
-		comp, err := hwcore.BuildComponent(spec, s.Dev, s.Region, macro)
+	// One reconfiguration manager and planner per region. Every manager
+	// registers the modules that fit its region; the §2.2 hazard gate and
+	// resident tracking are therefore per region, and a sibling's
+	// reconfiguration can neither demote this region's state nor read as
+	// static corruption (AllRegions excludes every dynamic area from the
+	// static hash).
+	staticHashes := core.NewStaticHasher(loader, s.CM, fp.Regions())
+	for _, rs := range s.regions {
+		asm, err := bitlinker.New(s.Dev, rs.area.R, baseline, rs.area.Macro)
 		if err != nil {
-			s.Skipped = append(s.Skipped, spec.Name)
-			continue
-		}
-		factory := spec.New
-		if err := s.Mgr.Register(comp, factory); err != nil {
 			return nil, err
 		}
+		rs.mgr, err = core.NewManager(core.Config{
+			Device:       s.Dev,
+			Region:       rs.area.R,
+			AllRegions:   fp.Regions(),
+			ConfigMem:    s.CM,
+			Baseline:     baseline,
+			Assembler:    asm,
+			Loader:       loader,
+			CPU:          s.CPU,
+			ICAPBase:     AddrICAP,
+			Bind:         rs.bind,
+			Kernel:       s.K,
+			StaticHashes: staticHashes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range hwcore.Specs() {
+			comp, err := hwcore.BuildComponent(spec, s.Dev, rs.area.R, rs.area.Macro)
+			if err != nil {
+				rs.skipped = append(rs.skipped, spec.Name)
+				continue
+			}
+			if err := rs.mgr.Register(comp, spec.New); err != nil {
+				return nil, err
+			}
+		}
+		rs.planner = plan.NewFor(rs.area.R.Name, rs.mgr)
+		rs.planning = true
 	}
-	s.Planner = plan.New(s.Mgr)
-	s.planning = true
+	s.Mgr = s.regions[0].mgr
+	s.Planner = s.regions[0].planner
+	s.Skipped = s.regions[0].skipped
 	return s, nil
 }
 
 // loadStaticDesign fills the configuration memory with the static design's
-// image: deterministic content everywhere except the dynamic region band,
-// which the initial configuration leaves blank.
-func loadStaticDesign(cm *fabric.ConfigMemory, region fabric.Region) {
+// image: deterministic content everywhere except the dynamic region bands,
+// which the initial configuration leaves blank. Every region blanks its
+// own row band inside its own columns — the same per-column fill the
+// single-region floorplan always used.
+func loadStaticDesign(cm *fabric.ConfigMemory, regions []fabric.Region) {
 	dev := cm.Device()
-	lo, hi := dev.RowWordRange(region.Row0, region.H)
-	frame := make([]uint32, dev.FrameLen())
-	bcols := make(map[int]bool)
-	for _, b := range dev.BRAMColumns(region) {
-		bcols[b] = true
+	type band struct{ lo, hi int }
+	clbBand := make(map[int]band)
+	bramBand := make(map[int]band)
+	for _, r := range regions {
+		lo, hi := dev.RowWordRange(r.Row0, r.H)
+		for c := r.Col0; c < r.Col0+r.W; c++ {
+			clbBand[c] = band{lo, hi}
+		}
+		for _, b := range dev.BRAMColumns(r) {
+			bramBand[b] = band{lo, hi}
+		}
 	}
-	fill := func(far fabric.FAR, blankBand bool) {
+	frame := make([]uint32, dev.FrameLen())
+	fill := func(far fabric.FAR, b band, blank bool) {
 		seed := uint64(far.Word()) ^ 0x57A71C_DE5160
 		for i := range frame {
-			if blankBand && i >= lo && i < hi {
+			if blank && i >= b.lo && i < b.hi {
 				frame[i] = 0
 				continue
 			}
@@ -272,13 +380,15 @@ func loadStaticDesign(cm *fabric.ConfigMemory, region fabric.Region) {
 		}
 	}
 	for col := 0; col < dev.Cols; col++ {
+		b, blank := clbBand[col]
 		for minor := 0; minor < fabric.FramesPerCLBColumn; minor++ {
-			fill(fabric.FAR{Block: fabric.BlockCLB, Major: col, Minor: minor}, region.ContainsCol(col))
+			fill(fabric.FAR{Block: fabric.BlockCLB, Major: col, Minor: minor}, b, blank)
 		}
 	}
 	for bcol := range dev.BRAMColPos {
+		b, blank := bramBand[bcol]
 		for minor := 0; minor < fabric.FramesPerBRAMColumn; minor++ {
-			fill(fabric.FAR{Block: fabric.BlockBRAM, Major: bcol, Minor: minor}, bcols[bcol])
+			fill(fabric.FAR{Block: fabric.BlockBRAM, Major: bcol, Minor: minor}, b, blank)
 		}
 	}
 }
@@ -308,43 +418,56 @@ func (s *System) MemBase() uint32 {
 	return AddrSRAM
 }
 
-// DockBase returns the dock window's bus address.
-func (s *System) DockBase() uint32 {
-	if s.Is64 {
-		return AddrDock64
-	}
-	return AddrDock32
-}
+// NumRegions returns how many dynamic regions the floorplan holds.
+func (s *System) NumRegions() int { return len(s.regions) }
 
-// DockData returns the dock data register's bus address.
+// RegionAt returns the geometry of region ri.
+func (s *System) RegionAt(ri int) fabric.Region { return s.regions[ri].area.R }
+
+// DockBase returns the active region's dock window bus address. Task code
+// running inside ExecuteOn drives the region it was dispatched to.
+func (s *System) DockBase() uint32 { return s.regions[s.active].dockBase }
+
+// DockData returns the active region's dock data register bus address.
 func (s *System) DockData() uint32 { return s.DockBase() + dock.RegData }
 
-// Core returns the circuit currently bound to the dock.
-func (s *System) Core() hw.Core {
-	if s.Is64 {
-		return s.Dock64.Core()
-	}
-	return s.Dock32.Core()
-}
+// DockIRQ returns the interrupt-controller line of the active region's
+// dock (64-bit systems only).
+func (s *System) DockIRQ() int { return s.regions[s.active].irqLine }
 
-// LoadModule reconfigures the dynamic area with the named module, letting
-// the planner choose the cheapest safe stream (a no-op when resident, a
+// Core returns the circuit currently bound to the active region's dock.
+func (s *System) Core() hw.Core { return s.regions[s.active].core() }
+
+// CurrentModule returns the module loaded in the active region — the
+// region a task dispatched through ExecuteOn is driving. Task code
+// verifies its module against this rather than Mgr.Current (region 0).
+func (s *System) CurrentModule() string { return s.regions[s.active].mgr.Current() }
+
+// LoadModule reconfigures region 0 with the named module, letting the
+// planner choose the cheapest safe stream (a no-op when resident, a
 // differential transition when the tracked state is authoritative, the
 // complete stream otherwise), and reports what was streamed. It takes the
 // system lock, so Status/Resident/PlanFor stay safe concurrently.
 func (s *System) LoadModule(name string) (ConfigReport, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.loadWith(name, s.planning)
+	return s.LoadModuleOn(0, name)
 }
 
-// LoadComplete reconfigures the dynamic area with the module's complete
+// LoadModuleOn reconfigures the given region with the named module under
+// the planner.
+func (s *System) LoadModuleOn(ri int, name string) (ConfigReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rs := s.regions[ri]
+	return s.loadWith(rs, name, rs.planning)
+}
+
+// LoadComplete reconfigures region 0 with the module's complete
 // configuration stream regardless of planning mode — the state-independent
 // worst case (still a no-op when the module is already resident).
 func (s *System) LoadComplete(name string) (ConfigReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.loadWith(name, false)
+	return s.loadWith(s.regions[0], name, false)
 }
 
 // WriteMem loads bytes into external memory functionally (test and

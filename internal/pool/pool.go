@@ -11,12 +11,26 @@ import (
 	"sync"
 
 	"repro/internal/platform"
+	"repro/internal/region"
 )
 
-// Config sizes the pool: how many 32-bit and 64-bit systems to build.
+// Config sizes the pool: how many 32-bit and 64-bit systems to build, and
+// how many independently reconfigurable regions each member's dynamic area
+// is split into (0 or 1 = the paper's fixed single-region floorplan).
+// Members, when non-empty, overrides the counts entirely: each spec builds
+// one member with an explicit floorplan — how benchmark pools compare
+// region granularities at equal total fabric.
 type Config struct {
-	Sys32 int
-	Sys64 int
+	Sys32   int
+	Sys64   int
+	Regions int
+	Members []MemberSpec
+}
+
+// MemberSpec describes one explicitly floorplanned member.
+type MemberSpec struct {
+	Is64      bool
+	Floorplan region.Floorplan
 }
 
 // Member is one platform in the pool.
@@ -31,9 +45,29 @@ type Pool struct {
 }
 
 // New boots the configured mix of systems, in parallel. Member IDs are
-// stable: 32-bit systems first, then 64-bit.
+// stable: 32-bit systems first, then 64-bit (or Members order).
 func New(cfg Config) (*Pool, error) {
-	n := cfg.Sys32 + cfg.Sys64
+	regions := cfg.Regions
+	if regions < 1 {
+		regions = 1
+	}
+	builders := make([]func() (*platform.System, error), 0, cfg.Sys32+cfg.Sys64+len(cfg.Members))
+	if len(cfg.Members) > 0 {
+		for _, spec := range cfg.Members {
+			spec := spec
+			builders = append(builders, func() (*platform.System, error) {
+				return platform.NewSystem(spec.Is64, spec.Floorplan)
+			})
+		}
+	} else {
+		for i := 0; i < cfg.Sys32; i++ {
+			builders = append(builders, func() (*platform.System, error) { return platform.NewSys32N(regions) })
+		}
+		for i := 0; i < cfg.Sys64; i++ {
+			builders = append(builders, func() (*platform.System, error) { return platform.NewSys64N(regions) })
+		}
+	}
+	n := len(builders)
 	if n <= 0 {
 		return nil, fmt.Errorf("pool: empty pool (sys32=%d sys64=%d)", cfg.Sys32, cfg.Sys64)
 	}
@@ -44,11 +78,7 @@ func New(cfg Config) (*Pool, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			mk := platform.NewSys32
-			if i >= cfg.Sys32 {
-				mk = platform.NewSys64
-			}
-			s, err := mk()
+			s, err := builders[i]()
 			if err != nil {
 				errs[i] = err
 				return
@@ -90,19 +120,32 @@ func (p *Pool) Supports(module string) bool {
 	return false
 }
 
-// MemberState is a point-in-time view of one platform for reporting.
+// MemberState is a point-in-time view of one platform for reporting:
+// the aggregate status plus every region's slice of it.
 type MemberState struct {
 	ID     int
 	System string
 	platform.Status
+	Regions []platform.RegionStatus
 }
 
-// Snapshot reports every member's resident module and reconfiguration
+// Snapshot reports every member's resident modules and reconfiguration
 // statistics. Safe to call while the pool is being driven.
 func (p *Pool) Snapshot() []MemberState {
 	out := make([]MemberState, len(p.members))
 	for i, m := range p.members {
-		out[i] = MemberState{ID: m.ID, System: m.Sys.Name, Status: m.Sys.Status()}
+		out[i] = MemberState{ID: m.ID, System: m.Sys.Name,
+			Status: m.Sys.Status(), Regions: m.Sys.RegionStatuses()}
 	}
 	return out
+}
+
+// Slots returns the pool's total count of dynamic regions — the pool-wide
+// bitstream cache capacity.
+func (p *Pool) Slots() int {
+	n := 0
+	for _, m := range p.members {
+		n += m.Sys.NumRegions()
+	}
+	return n
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/region"
 	"repro/internal/tasks"
 )
 
@@ -70,5 +71,45 @@ func TestSnapshotDuringConcurrentExecution(t *testing.T) {
 		if st.Resident != "fade" || st.Loads != 1 || st.Corrupted {
 			t.Errorf("member %d: %+v, want fade resident after exactly one load", st.ID, st)
 		}
+	}
+}
+
+// TestRegionsConfig: Config.Regions splits every member's dynamic area;
+// explicit MemberSpec floorplans override the counts entirely.
+func TestRegionsConfig(t *testing.T) {
+	p, err := New(Config{Sys32: 1, Sys64: 1, Regions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Slots() != 4 {
+		t.Fatalf("2 dual-region members expose %d slots, want 4", p.Slots())
+	}
+	for _, m := range p.Members() {
+		if m.Sys.NumRegions() != 2 {
+			t.Errorf("member %d has %d regions, want 2", m.ID, m.Sys.NumRegions())
+		}
+	}
+	for _, st := range p.Snapshot() {
+		if len(st.Regions) != 2 {
+			t.Errorf("snapshot of member %d carries %d region statuses, want 2", st.ID, len(st.Regions))
+		}
+	}
+	fp, err := region.Default(true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := region.Floorplan{Name: "half64", Areas: fp.Areas[:1]}
+	p2, err := New(Config{Members: []MemberSpec{
+		{Is64: true, Floorplan: single},
+		{Is64: true, Floorplan: fp},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Slots() != 3 {
+		t.Fatalf("explicit members expose %d slots, want 3", p2.Slots())
+	}
+	if got := p2.Members()[0].Sys.RegionAt(0); got != fp.Areas[0].R {
+		t.Errorf("explicit single-region member region %v, want %v", got, fp.Areas[0].R)
 	}
 }

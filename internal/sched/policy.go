@@ -7,37 +7,42 @@ import (
 	"repro/internal/plan"
 )
 
-// Candidate is one idle pool member a placement policy may pick for a
-// request. The scheduler fills it under its lock from the member's live
-// state, including the stream the member's planner would issue for the
-// requested module.
+// Candidate is one idle (member, region) slot a placement policy may pick
+// for a request. The scheduler fills it under its lock from the slot's
+// live state, including the stream the region's planner would issue for
+// the requested module.
 type Candidate struct {
-	// Index identifies the member within the scheduler.
+	// Index identifies the slot within the scheduler.
 	Index int
-	// Resident is the module currently configured on the member.
+	// Member and Region name the slot: the pool member's ID and the
+	// region index within it. Policies scoring (member, region) pairs can
+	// tell two regions of one board from two boards.
+	Member int
+	Region int
+	// Resident is the module currently configured on the slot's region.
 	Resident string
-	// LastUsed is the dispatch tick of the member's most recent
+	// LastUsed is the dispatch tick of the slot's most recent
 	// assignment; smaller means less recently used.
 	LastUsed uint64
-	// Plan is the stream the member would issue to host the module
+	// Plan is the stream the region would issue to host the module
 	// (StreamNone when the module is already resident). Zero-valued when
 	// planning failed — treated as a worst-case complete stream.
 	Plan plan.Plan
 	// PlanOK reports whether Plan is valid.
 	PlanOK bool
-	// Speculating marks a member with a speculative load in flight toward
+	// Speculating marks a slot with a speculative load in flight toward
 	// Resident (the predicted module). Dispatching another module there
 	// aborts the stream; the scheduler leaves Plan unset, so cost-aware
-	// policies prefer a quiet member when one exists.
+	// policies prefer a quiet slot when one exists.
 	Speculating bool
-	// ReuseProb is the predictor's estimate that the member's resident
+	// ReuseProb is the predictor's estimate that the slot's resident
 	// module is the next one requested (0 without a predictor). Policies
 	// can use it to avoid evicting a module that is about to be wanted.
 	ReuseProb float64
 }
 
-// Policy chooses which idle member hosts a request on a bitstream-cache
-// miss; the scheduler dispatches cache hits (an idle member with the
+// Policy chooses which idle slot hosts a request on a bitstream-cache
+// miss; the scheduler dispatches cache hits (an idle slot with the
 // module resident) directly without consulting the policy. Pick is called
 // with a non-empty candidate slice (every entry idle and supporting the
 // module) and returns an index INTO the slice. Implementations must be

@@ -143,6 +143,12 @@ func TestPrefetchStressNoHazard(t *testing.T) {
 	if st.PrefetchWasted > st.PrefetchBytes {
 		t.Fatalf("wasted %d B exceeds speculative %d B", st.PrefetchWasted, st.PrefetchBytes)
 	}
+	// Exact conservation: every speculative byte is consumed, wasted, or
+	// still pending — counted once, even across abort-then-retry cycles.
+	if st.PrefetchBytes != st.PrefetchConsumed+st.PrefetchWasted+st.PrefetchPending {
+		t.Fatalf("speculative bytes unbalanced: streamed %d != consumed %d + wasted %d + pending %d",
+			st.PrefetchBytes, st.PrefetchConsumed, st.PrefetchWasted, st.PrefetchPending)
+	}
 	if st.PrefetchHits > st.Hits {
 		t.Fatalf("prefetch hits %d exceed hits %d", st.PrefetchHits, st.Hits)
 	}

@@ -1,0 +1,231 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/pool"
+	"repro/internal/predict"
+	"repro/internal/tasks"
+)
+
+// pool64x2 boots n dual-region 64-bit members.
+func pool64x2(t testing.TB, n int) *pool.Pool {
+	t.Helper()
+	p, err := pool.New(pool.Config{Sys64: n, Regions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestDualRegionPoolHoldsFourResidents: a 2-board × 2-region pool exposes
+// four scheduling slots, so four distinct modules stay warm at once and a
+// second pass over them is all cache hits — the bitstream-cache capacity
+// of four boards on half the hardware.
+func TestDualRegionPoolHoldsFourResidents(t *testing.T) {
+	p := pool64x2(t, 2)
+	s := New(p, Options{})
+	if got := len(s.Stats().Slots); got != 4 {
+		t.Fatalf("pool exposes %d slots, want 4", got)
+	}
+	mods := []tasks.Runner{
+		tasks.JenkinsRun{Seed: 1, Len: 128, InitVal: 1},
+		tasks.FadeRun{Seed: 2, N: 256, F: 9},
+		tasks.BrightnessRun{Seed: 3, N: 256, Delta: 4},
+		tasks.BlendRun{Seed: 4, N: 256},
+	}
+	for _, m := range mods {
+		if r := <-s.Submit(m); r.Err != nil {
+			t.Fatalf("%s: %v", r.Task, r.Err)
+		}
+	}
+	quiesce(t, s)
+	seen := make(map[SlotID]string)
+	for _, m := range mods {
+		r := <-s.Submit(m)
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Task, r.Err)
+		}
+		if !r.Report.CacheHit {
+			t.Errorf("second pass %s: %+v, want cache hit", r.Task, r.Report)
+		}
+		seen[SlotID{Member: r.Member, Region: r.Region}] = r.Module
+		quiesce(t, s)
+	}
+	s.Wait()
+	if len(seen) != 4 {
+		t.Fatalf("second pass used %d distinct slots (%v), want 4", len(seen), seen)
+	}
+}
+
+// TestSiblingRegionHitWhileMemberBusy is the conflict a single-region pool
+// must pay a miss for: the wanted module is resident on a board that is
+// currently computing. With a second region the dispatcher sends the
+// request to the idle sibling slot as a zero-stream cache hit — the
+// executions interleave on the member's serialized timeline, but no ICAP
+// traffic is paid.
+func TestSiblingRegionHitWhileMemberBusy(t *testing.T) {
+	p := pool64x2(t, 1)
+	s := New(p, Options{})
+	warm := []tasks.Runner{
+		tasks.JenkinsRun{Seed: 1, Len: 128, InitVal: 1},
+		tasks.FadeRun{Seed: 2, N: 256, F: 9},
+	}
+	var slots [2]int
+	for i, m := range warm {
+		r := <-s.Submit(m)
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		slots[i] = r.Region
+		quiesce(t, s)
+	}
+	if slots[0] == slots[1] {
+		t.Fatalf("warmup landed both modules on region %d", slots[0])
+	}
+	// A long jenkins run occupies its slot; the fade submitted right
+	// behind it finds its module resident on the sibling region of the
+	// same (busy) member.
+	chA := s.Submit(tasks.JenkinsRun{Seed: 3, Len: 8192, InitVal: 2})
+	chB := s.Submit(tasks.FadeRun{Seed: 4, N: 256, F: 17})
+	ra, rb := <-chA, <-chB
+	s.Wait()
+	if ra.Err != nil || rb.Err != nil {
+		t.Fatalf("errors: %v / %v", ra.Err, rb.Err)
+	}
+	if !ra.Report.CacheHit || !rb.Report.CacheHit {
+		t.Fatalf("reports (%+v, %+v), want two cache hits", ra.Report, rb.Report)
+	}
+	if ra.Member != rb.Member || ra.Region == rb.Region {
+		t.Fatalf("requests ran on (m%d r%d) and (m%d r%d), want sibling regions of one member",
+			ra.Member, ra.Region, rb.Member, rb.Region)
+	}
+}
+
+// TestPrefetchIntoSiblingRegion reruns the learned-rotation prefetch test
+// of the single-region pipeline on ONE dual-region board: three modules
+// rotate over two regions, the markov predictor learns the cycle, and the
+// speculative pipeline keeps the next module arriving on the idle sibling
+// region — warm rounds execute with zero visible configuration time on a
+// single device, where a single-region board would reconfigure on the
+// request path every round.
+func TestPrefetchIntoSiblingRegion(t *testing.T) {
+	pred, err := predict.New("markov")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pool64x2(t, 1)
+	s := New(p, Options{Prefetch: true, Predictor: pred})
+	mk := func(i int) tasks.Runner {
+		switch i % 3 {
+		case 0:
+			return tasks.FadeRun{Seed: int64(i), N: 256, F: 50}
+		case 1:
+			return tasks.BrightnessRun{Seed: int64(i), N: 256, Delta: 5}
+		}
+		return tasks.BlendRun{Seed: int64(i), N: 256}
+	}
+	const rounds = 33
+	regions := make(map[int]int)
+	for i := 0; i < rounds; i++ {
+		quiesce(t, s)
+		r := <-s.Submit(mk(i))
+		if r.Err != nil {
+			t.Fatalf("round %d: %v", i, r.Err)
+		}
+		regions[r.Region]++
+		if i >= 24 {
+			if !r.Report.CacheHit || r.Report.Config != 0 {
+				t.Errorf("round %d: report %+v, want prefetched zero-config hit", i, r.Report)
+			}
+		}
+	}
+	s.Wait()
+	st := s.Stats()
+	if st.PrefetchIssued == 0 || st.PrefetchHits == 0 {
+		t.Fatalf("no prefetch activity on the dual-region board: %+v", st)
+	}
+	if len(regions) != 2 {
+		t.Fatalf("all rounds ran on one region (%v): sibling never used", regions)
+	}
+	for _, m := range p.Snapshot() {
+		if m.Corrupted {
+			t.Fatal("static design corrupted")
+		}
+	}
+}
+
+// TestSpeculativeByteConservation is the accounting audit the speculative
+// counters must survive: every speculative byte ends up in exactly one of
+// consumed / wasted / still-pending, with nothing double-booked across
+// abort-then-retry of the same region. The scenario forces an abort (Wait
+// fires while a long speculative stream is in flight), then retries the
+// same module on the same slot to a completed, consumed prefetch, and
+// checks exact conservation at every quiesced step.
+func TestSpeculativeByteConservation(t *testing.T) {
+	check := func(t *testing.T, st Stats, when string) {
+		t.Helper()
+		if st.PrefetchBytes != st.PrefetchConsumed+st.PrefetchWasted+st.PrefetchPending {
+			t.Fatalf("%s: speculative bytes unbalanced: streamed %d != consumed %d + wasted %d + pending %d",
+				when, st.PrefetchBytes, st.PrefetchConsumed, st.PrefetchWasted, st.PrefetchPending)
+		}
+	}
+	pred, err := predict.New("markov")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pool64x2(t, 1)
+	s := New(p, Options{Prefetch: true, Predictor: pred})
+	// Teach the predictor a strict three-module rotation over the two
+	// slots: the working set exceeds the cache, so every steady-state
+	// round must speculate the next module into the idle sibling region.
+	mk := func(i int) tasks.Runner {
+		switch i % 3 {
+		case 0:
+			return tasks.JenkinsRun{Seed: int64(i), Len: 128, InitVal: 7}
+		case 1:
+			return tasks.FadeRun{Seed: int64(i), N: 256, F: 31}
+		}
+		return tasks.BrightnessRun{Seed: int64(i), N: 256, Delta: 11}
+	}
+	for i := 0; i < 15; i++ {
+		quiesce(t, s)
+		if r := <-s.Submit(mk(i)); r.Err != nil {
+			t.Fatalf("round %d: %v", i, r.Err)
+		}
+		check(t, s.Stats(), "training")
+	}
+	// Abort: Wait() triggers the abort token of whatever speculation the
+	// last dispatch round launched; a stream caught in flight parks at a
+	// safe boundary and its partial bytes must be booked as waste exactly
+	// once. (If the stream already completed, the bytes sit pending —
+	// conservation holds either way.)
+	s.Wait()
+	st := s.Stats()
+	check(t, st, "after abort")
+	if st.PrefetchIssued != st.PrefetchCompleted+st.PrefetchAborted {
+		t.Fatalf("speculative loads unresolved: issued %d, completed %d, aborted %d",
+			st.PrefetchIssued, st.PrefetchCompleted, st.PrefetchAborted)
+	}
+	// Retry on the same region: the §2.2 gate forces the aborted region's
+	// next load onto a complete stream, and the pipeline speculates into
+	// it again. Driving the alternation on consumes pending prefetches —
+	// any double-booking of the aborted bytes would break conservation on
+	// the spot.
+	for i := 15; i < 30; i++ {
+		quiesce(t, s)
+		if r := <-s.Submit(mk(i)); r.Err != nil {
+			t.Fatalf("retry round %d: %v", i, r.Err)
+		}
+		check(t, s.Stats(), "retry")
+	}
+	s.Wait()
+	st = s.Stats()
+	check(t, st, "final")
+	if st.PrefetchWasted > st.PrefetchBytes {
+		t.Fatalf("wasted %d B exceeds speculative %d B", st.PrefetchWasted, st.PrefetchBytes)
+	}
+	if st.PrefetchHits == 0 {
+		t.Fatalf("retry phase consumed no prefetch: %+v", st)
+	}
+}

@@ -3,27 +3,31 @@
 // time-sharing methodology implies once more than one task (and more than
 // one board) contends for the dynamic area.
 //
-// The pool's N dynamic areas collectively form an N-entry bitstream cache
-// keyed by module name: a request whose module is already resident on an
-// idle member runs there without any ICAP traffic (a cache hit); otherwise
-// a pluggable placement policy chooses the miss victim — "lru" evicts the
-// least-recently-dispatched idle member, "mincost" the member whose
-// resident module minimizes the planned (differential-aware) configuration
-// cost of the transition, "prefetch" mincost with an eviction penalty for
-// modules the predictor expects back. Dispatch order is FIFO over
-// schedulable requests; an optional batch window pulls up to Batch-1
-// queued requests for the same module forward so they ride a warm
+// The pool's dynamic regions collectively form a bitstream cache keyed by
+// module name: every (member, region) pair is one scheduling slot, so a
+// dual-region board holds two residents and a request whose module is
+// already resident on an idle slot runs there without any ICAP traffic (a
+// cache hit) — even while a sibling region of the same board computes.
+// Otherwise a pluggable placement policy chooses the miss victim among the
+// idle slots — "lru" evicts the least-recently-dispatched, "mincost" the
+// slot whose resident module minimizes the planned (differential-aware)
+// configuration cost of the transition, "prefetch" mincost with an
+// eviction penalty for modules the predictor expects back. Dispatch order
+// is FIFO over schedulable requests; an optional batch window pulls up to
+// Batch-1 queued requests for the same module forward so they ride a warm
 // configuration, bounding how far any request can be overtaken.
 //
 // With Options.Prefetch the scheduler also overlaps reconfiguration with
-// computation: whenever a member goes idle, an online next-module
-// predictor (internal/predict) and the members' planners choose the
-// cheapest speculative (resident → predicted) transition, and the stream
-// is issued as a cancellable background load. A real request always wins:
-// dispatching a different module to a speculating member triggers its
-// abort token, the stream parks at the next safe boundary, and the §2.2
-// hazard gate guarantees the partial region content is never executed
-// against — a wrong guess wastes speculative bytes, never correctness.
+// computation: whenever a slot goes idle, an online next-module predictor
+// (internal/predict) and the regions' planners choose the cheapest
+// speculative (resident → predicted) transition, and the stream is issued
+// as a cancellable background load — including into an idle region whose
+// sibling is mid-execution, the intra-device overlap multi-region
+// floorplans add. A real request always wins: dispatching a different
+// module to a speculating slot triggers its abort token, the stream parks
+// at the next safe boundary, and the §2.2 hazard gate (per region)
+// guarantees the partial region content is never executed against — a
+// wrong guess wastes speculative bytes, never correctness.
 package sched
 
 import (
@@ -42,12 +46,12 @@ import (
 // Options tunes the scheduler.
 type Options struct {
 	// Batch is the maximum number of same-module requests dispatched
-	// consecutively to one member ahead of strict FIFO order. 0 or 1
+	// consecutively to one slot ahead of strict FIFO order. 0 or 1
 	// disables reordering entirely (pure FIFO).
 	Batch int
-	// Policy places cache-missing requests on idle members. nil means LRU.
+	// Policy places cache-missing requests on idle slots. nil means LRU.
 	Policy Policy
-	// Prefetch enables speculative configuration of idle members with the
+	// Prefetch enables speculative configuration of idle slots with the
 	// predictor's next-module guesses.
 	Prefetch bool
 	// Predictor guides prefetching and fills Candidate.ReuseProb; it is
@@ -63,12 +67,13 @@ type Result struct {
 	Task   string
 	Module string
 	Member int
+	Region int // region index within the member
 	System string
 	Report platform.ExecReport
 	Err    error
 }
 
-// Latency is the simulated time the request occupied its member
+// Latency is the simulated time the request occupied its slot
 // (reconfiguration plus work).
 func (r Result) Latency() sim.Time { return r.Report.Latency() }
 
@@ -87,6 +92,12 @@ type ModuleStats struct {
 	Completes uint64
 }
 
+// SlotID names one scheduling slot: a member and a region index inside it.
+type SlotID struct {
+	Member int
+	Region int
+}
+
 // Stats aggregates scheduler-wide outcomes.
 type Stats struct {
 	Requests uint64 // submitted
@@ -97,7 +108,9 @@ type Stats struct {
 	Work     sim.Time // total simulated work time
 	Errors   uint64
 	Modules  map[string]ModuleStats
-	// BusyTime is each member's simulated busy time (config+work).
+	// Slots names each scheduling slot; BusyTime is the slot's simulated
+	// busy time (config+work), indexed alike.
+	Slots    []SlotID
 	BusyTime []sim.Time
 	// BytesStreamed counts all configuration bytes through the pool's
 	// HWICAPs on the request path; DiffLoads and CompleteLoads split the
@@ -115,10 +128,21 @@ type Stats struct {
 	PrefetchAborted   uint64 // speculative streams aborted or failed
 	PrefetchHits      uint64 // requests served by a prefetched resident
 	PrefetchBytes     uint64 // bytes streamed speculatively
-	// PrefetchWasted counts speculative bytes whose guess was aborted or
-	// overwritten unconsumed. A completed guess still sitting resident is
-	// in neither bucket — it can yet be consumed by a later request.
-	PrefetchWasted uint64
+	// Every speculative byte ends in exactly one of three places: consumed
+	// by a prefetch hit (PrefetchConsumed), booked as waste when its guess
+	// was aborted or overwritten unconsumed (PrefetchWasted), or still
+	// sitting resident awaiting a request (PrefetchBytes minus the other
+	// two). An abort books its partial bytes as waste exactly once — the
+	// regression tests pin this against abort-then-retry on one region.
+	PrefetchConsumed uint64
+	PrefetchWasted   uint64
+	// PrefetchPending is the byte total of completed speculative streams
+	// still sitting resident unconsumed, summed from the slots when Stats
+	// is taken. Conservation holds at every quiesced point:
+	//   PrefetchBytes == PrefetchConsumed + PrefetchWasted + PrefetchPending
+	// (between a stream's completion and its accounting the left side
+	// briefly leads). TestSpeculativeByteConservation pins the equality.
+	PrefetchPending uint64
 	// HiddenConfig is the speculative configuration time later consumed by
 	// prefetch hits — time the pipeline moved off the request critical
 	// path; PrefetchConfig is all speculative configuration time. A
@@ -154,21 +178,35 @@ type abortToken struct{ flag atomic.Bool }
 func (a *abortToken) trigger()      { a.flag.Store(true) }
 func (a *abortToken) aborted() bool { return a.flag.Load() }
 
-type memberState struct {
-	m *pool.Member
-	// busy marks a member with a dispatched batch in flight.
+// slotState is one scheduling slot: a (member, region) pair. Sibling
+// slots of one member have independent residents and speculation state but
+// share the member's serialized simulated timeline.
+type slotState struct {
+	m  *pool.Member
+	ri int // region index within the member
+	// busy marks a slot with a dispatched batch in flight.
 	busy bool
+	// resident caches the slot's authoritative resident module as of the
+	// last scheduler-driven action (batch execution or speculative
+	// completion; "" after an abort, an error, or at boot). The scheduler
+	// owns the pool, so nothing else can move a region's resident state —
+	// and the dispatcher must never touch the member's own lock while
+	// holding the scheduler lock: a sibling region mid-execution holds
+	// that lock for its whole simulated run, which would stall dispatch
+	// to every other board.
+	resident string
 	// lastModule is the module of the most recent dispatch — the resident
-	// module a busy member converges to, read without touching its lock.
+	// module a busy slot converges to, read without touching its lock.
 	lastModule string
 	// lastUsed is the dispatch tick of the most recent assignment; the
-	// idle member with the smallest tick is the LRU eviction victim.
+	// idle slot with the smallest tick is the LRU eviction victim.
 	lastUsed uint64
 
 	// specBusy marks an in-flight speculative load of specModule;
 	// specAbort is its cancellation token. A real dispatch of a different
-	// module triggers the token and proceeds — Execute serializes behind
-	// the parking stream on the member's own lock.
+	// module to THIS slot triggers the token and proceeds — a dispatch to
+	// a sibling region leaves the stream running, and Execute serializes
+	// behind it on the member's own lock.
 	specBusy   bool
 	specModule string
 	specAbort  *abortToken
@@ -179,32 +217,52 @@ type memberState struct {
 	specHitPending bool
 	// prefetched names the last completed, still unconsumed speculative
 	// load, with the stream bytes/time it paid off the request path. The
-	// first request hitting it converts prefetchedTime into HiddenConfig;
-	// a real load overwriting it books prefetchedBytes as wasted.
+	// first request hitting it converts prefetchedTime into HiddenConfig
+	// and the bytes into PrefetchConsumed; a real load overwriting it
+	// books prefetchedBytes as wasted.
 	prefetched      string
 	prefetchedBytes int
 	prefetchedTime  sim.Time
 }
 
-// residentView is the member's resident module as the dispatcher sees it:
-// the last dispatched module while busy (a busy member converges to it —
+// residentView is the slot's resident module as the dispatcher sees it:
+// the last dispatched module while busy (a busy slot converges to it —
 // including when the dispatch just aborted a speculation, whose doomed
 // guess must not be reported), else the speculative target while a stream
 // is in flight (it either completes into exactly that state or the
-// dispatch that invalidates it aborts it), else the live authoritative
-// resident. Only the last case takes the member's lock.
-func (ms *memberState) residentView() string {
+// dispatch that invalidates it aborts it), else the cached resident.
+// Never takes the member's lock — see slotState.resident.
+func (ss *slotState) residentView() string {
 	switch {
-	case ms.busy:
-		return ms.lastModule
-	case ms.specBusy:
-		return ms.specModule
+	case ss.busy:
+		return ss.lastModule
+	case ss.specBusy:
+		return ss.specModule
 	default:
-		return ms.m.Sys.Resident()
+		return ss.resident
 	}
 }
 
-// Scheduler dispatches task requests onto a pool.
+func (ss *slotState) supports(module string) bool {
+	return ss.m.Sys.SupportsOn(ss.ri, module)
+}
+
+// memberQuiet reports whether no slot of the member is executing or
+// streaming: only then is the member's lock free to take briefly for plan
+// sizing and restore estimates. Calls into a non-quiet member would block
+// the scheduler lock behind the sibling's entire simulated run. On
+// single-region pools quiet is exactly "this slot is idle and not
+// speculating", so the pre-multi-region behaviour is unchanged.
+func (s *Scheduler) memberQuiet(m *pool.Member) bool {
+	for _, ss := range s.slots {
+		if ss.m == m && (ss.busy || ss.specBusy) {
+			return false
+		}
+	}
+	return true
+}
+
+// Scheduler dispatches task requests onto a pool's (member, region) slots.
 type Scheduler struct {
 	opts Options
 	// planAware: the policy reads Candidate.Plan, so pickLocked must fill
@@ -214,7 +272,7 @@ type Scheduler struct {
 
 	mu      sync.Mutex
 	pending []*request
-	members []*memberState
+	slots   []*slotState
 	tick    uint64
 	nextID  uint64
 	stats   Stats
@@ -244,14 +302,17 @@ func New(p *pool.Pool, opts Options) *Scheduler {
 		s.planAware = pa.NeedsPlan()
 	}
 	for _, m := range p.Members() {
-		s.members = append(s.members, &memberState{m: m})
+		for ri := 0; ri < m.Sys.NumRegions(); ri++ {
+			s.slots = append(s.slots, &slotState{m: m, ri: ri})
+			s.stats.Slots = append(s.stats.Slots, SlotID{Member: m.ID, Region: ri})
+		}
 	}
-	s.stats.BusyTime = make([]sim.Time, len(s.members))
+	s.stats.BusyTime = make([]sim.Time, len(s.slots))
 	return s
 }
 
 // Submit queues a task request and returns a channel that delivers its
-// Result exactly once. A request whose module no member supports fails
+// Result exactly once. A request whose module no slot supports fails
 // immediately.
 func (s *Scheduler) Submit(t tasks.Runner) <-chan Result {
 	ch := make(chan Result, 1)
@@ -274,7 +335,7 @@ func (s *Scheduler) Submit(t tasks.Runner) <-chan Result {
 		s.stats.Modules[t.Module()] = ms
 		s.mu.Unlock()
 		ch <- Result{ID: req.id, Task: t.Name(), Module: t.Module(),
-			Member: -1, Err: fmt.Errorf("sched: no member supports module %q", t.Module())}
+			Member: -1, Region: -1, Err: fmt.Errorf("sched: no slot supports module %q", t.Module())}
 		return ch
 	}
 	s.wg.Add(1)
@@ -324,9 +385,9 @@ func (s *Scheduler) Wait() {
 	s.wg.Wait()
 	s.mu.Lock()
 	s.stopped = true
-	for _, ms := range s.members {
-		if ms.specBusy {
-			ms.specAbort.trigger()
+	for _, ss := range s.slots {
+		if ss.specBusy {
+			ss.specAbort.trigger()
 		}
 	}
 	s.mu.Unlock()
@@ -334,9 +395,9 @@ func (s *Scheduler) Wait() {
 }
 
 // Drained reports whether the scheduler is fully settled: no pending
-// request, no member executing, and no speculative stream in flight.
+// request, no slot executing, and no speculative stream in flight.
 // Closed-loop drivers that need reproducible runs poll it between
-// arrivals — a delivered Result precedes the member's release and the
+// arrivals — a delivered Result precedes the slot's release and the
 // tail dispatch that may issue new speculation, so observing counters
 // alone can race with both.
 func (s *Scheduler) Drained() bool {
@@ -345,8 +406,8 @@ func (s *Scheduler) Drained() bool {
 	if len(s.pending) > 0 {
 		return false
 	}
-	for _, ms := range s.members {
-		if ms.busy || ms.specBusy {
+	for _, ss := range s.slots {
+		if ss.busy || ss.specBusy {
 			return false
 		}
 	}
@@ -362,32 +423,38 @@ func (s *Scheduler) Stats() Stats {
 	for k, v := range s.stats.Modules {
 		st.Modules[k] = v
 	}
+	st.Slots = append([]SlotID(nil), s.stats.Slots...)
 	st.BusyTime = append([]sim.Time(nil), s.stats.BusyTime...)
+	for _, ss := range s.slots {
+		st.PrefetchPending += uint64(ss.prefetchedBytes)
+	}
 	return st
 }
 
 func (s *Scheduler) supported(module string) bool {
-	for _, ms := range s.members {
-		if ms.m.Sys.Supports(module) {
+	for _, ss := range s.slots {
+		if ss.supports(module) {
 			return true
 		}
 	}
 	return false
 }
 
-// dispatchLocked assigns as many pending requests as the idle members
+// dispatchLocked assigns as many pending requests as the idle slots
 // allow. Called with s.mu held.
 //
 // Dispatch: scan pending in FIFO order; the first request with an eligible
-// idle member is dispatched (later requests may only overtake it inside
-// the same-module batch window below, or when no idle member supports its
-// module — e.g. a sha1 request waiting for a 64-bit member while 32-bit
-// members sit idle). Member choice is delegated to the placement policy;
-// every built-in policy sends a request to a member with the module
-// already resident when one is idle (cache hit).
+// idle slot is dispatched (later requests may only overtake it inside
+// the same-module batch window below, or when no idle slot supports its
+// module — e.g. a sha1 request waiting for a 64-bit slot while 32-bit
+// slots sit idle). Slot choice is delegated to the placement policy;
+// every built-in policy sends a request to a slot with the module
+// already resident when one is idle (cache hit) — including an idle
+// region of a board whose sibling region is busy, the conflict a
+// single-region pool must pay a miss for.
 func (s *Scheduler) dispatchLocked() {
 	for {
-		ri, mi := s.pickLocked()
+		ri, si := s.pickLocked()
 		if ri < 0 {
 			break
 		}
@@ -403,63 +470,69 @@ func (s *Scheduler) dispatchLocked() {
 			}
 			i++
 		}
-		ms := s.members[mi]
-		if ms.specBusy {
-			if ms.specModule != head.task.Module() {
+		ss := s.slots[si]
+		if ss.specBusy {
+			if ss.specModule != head.task.Module() {
 				// Preempt: the speculative stream parks at its next safe
 				// boundary; Execute then serializes behind it on the
-				// member's lock.
-				ms.specAbort.trigger()
+				// member's lock. Sibling regions' streams are left alone.
+				ss.specAbort.trigger()
 			} else {
 				// The dispatch rides the in-flight stream — the overlap
 				// paying off; the speculative goroutine credits the hit.
-				ms.specHitPending = true
+				ss.specHitPending = true
 			}
 		}
-		ms.busy = true
-		ms.lastModule = head.task.Module()
+		ss.busy = true
+		ss.lastModule = head.task.Module()
 		s.tick++
-		ms.lastUsed = s.tick
-		go s.runBatch(ms, mi, batch)
+		ss.lastUsed = s.tick
+		go s.runBatch(ss, si, batch)
 	}
 	s.prefetchLocked()
 }
 
 // pickLocked returns the indices of the first schedulable pending request
-// and its chosen member, or (-1, -1).
+// and its chosen slot, or (-1, -1).
 func (s *Scheduler) pickLocked() (int, int) {
 	for ri, req := range s.pending {
 		mod := req.task.Module()
 		var cands []Candidate
 		hit := -1
-		for mi, ms := range s.members {
-			if ms.busy || !ms.m.Sys.Supports(mod) {
+		for si, ss := range s.slots {
+			if ss.busy || !ss.supports(mod) {
 				continue
 			}
-			// For a speculating member the view is the in-flight target: a
+			// For a speculating slot the view is the in-flight target: a
 			// matching request dispatched there rides the stream to a hit,
 			// a different one aborts it (see dispatchLocked).
-			c := Candidate{Index: mi, Resident: ms.residentView(),
-				LastUsed: ms.lastUsed, Speculating: ms.specBusy}
+			c := Candidate{Index: si, Member: ss.m.ID, Region: ss.ri,
+				Resident: ss.residentView(), LastUsed: ss.lastUsed, Speculating: ss.specBusy}
 			if c.Resident == mod {
-				hit = mi
+				hit = si
 				break
 			}
 			cands = append(cands, c)
 		}
 		// Cache hit: dispatch there without consulting the policy (every
-		// built-in policy would pick it anyway), skipping the per-member
+		// built-in policy would pick it anyway), skipping the per-slot
 		// plan sizing below.
 		if hit >= 0 {
 			return ri, hit
 		}
 		for i := range cands {
-			// A speculating member's plan cannot be sized without waiting
-			// out its stream; leaving PlanOK false costs it as worst case,
-			// so policies abort speculation only as a last resort.
+			// A speculating slot's plan cannot be sized without waiting
+			// out its stream, and a slot whose sibling region is executing
+			// or streaming cannot be sized without waiting out the member
+			// lock; leaving PlanOK false costs them as worst case, so
+			// policies prefer quiet slots and abort speculation only as a
+			// last resort.
 			if s.planAware && !cands[i].Speculating {
-				if p, err := s.members[cands[i].Index].m.Sys.PlanFor(mod); err == nil {
-					cands[i].Plan, cands[i].PlanOK = p, true
+				ss := s.slots[cands[i].Index]
+				if s.memberQuiet(ss.m) {
+					if p, err := ss.m.Sys.PlanForOn(ss.ri, mod); err == nil {
+						cands[i].Plan, cands[i].PlanOK = p, true
+					}
 				}
 			}
 			if s.opts.Predictor != nil {
@@ -473,35 +546,44 @@ func (s *Scheduler) pickLocked() (int, int) {
 	return -1, -1
 }
 
-// prefetchLocked speculatively configures idle members with the
-// predictor's next-module guesses. Called with s.mu held at the end of
-// every dispatch round. For each ranked module not already resident (or
-// in flight) anywhere in the pool, the idle member whose planner offers
-// the cheapest (resident → predicted) transition hosts the speculative
-// load; at least one member slot is always left unspeculated so a miss
-// for an unpredicted module finds a quiet home. Members carrying an
-// unconsumed prefetch are skipped — replacing their guess before anyone
-// used it would only convert speculative bytes into waste.
+// prefetchLocked speculatively configures idle slots with the predictor's
+// next-module guesses. Called with s.mu held at the end of every dispatch
+// round. For each ranked module not already resident (or in flight)
+// anywhere in the pool, the idle slot whose planner offers the cheapest
+// (resident → predicted) transition hosts the speculative load; at least
+// one slot is always left unspeculated so a miss for an unpredicted
+// module finds a quiet home. A busy slot is never a target, but an idle
+// region whose sibling is computing is — the stream interleaves with the
+// sibling's work on the member's serialized timeline, and the next
+// request for the guess hits warm fabric on an already-loaded board.
+// Slots carrying an unconsumed prefetch are skipped — replacing their
+// guess before anyone used it would only convert speculative bytes into
+// waste.
 func (s *Scheduler) prefetchLocked() {
 	if !s.opts.Prefetch || s.stopped || s.opts.Predictor == nil {
 		return
 	}
 	speculating := 0
-	var idle []*memberState
-	for _, ms := range s.members {
-		if ms.specBusy {
+	var idle []*slotState
+	for _, ss := range s.slots {
+		if ss.specBusy {
 			speculating++
 			continue
 		}
-		if !ms.busy && ms.prefetched == "" {
-			idle = append(idle, ms)
+		// Only slots of quiet members are speculation targets this round:
+		// sizing a stream for a member whose sibling region is executing
+		// would block the scheduler lock behind that run. The member's
+		// release re-enters dispatchLocked, so deferred slots are
+		// revisited the moment the board frees up.
+		if !ss.busy && ss.prefetched == "" && s.memberQuiet(ss.m) {
+			idle = append(idle, ss)
 		}
 	}
-	// At most half the pool speculates at once: a miss for an unpredicted
-	// module must still find quiet members to choose among, or placement
-	// degenerates to "the one member not speculating" and the per-miss
-	// streams grow past what prefetch hits save.
-	limit := len(s.members) / 2
+	// At most half the pool's slots speculate at once: a miss for an
+	// unpredicted module must still find quiet slots to choose among, or
+	// placement degenerates to "the one slot not speculating" and the
+	// per-miss streams grow past what prefetch hits save.
+	limit := len(s.slots) / 2
 	if limit < 1 {
 		limit = 1
 	}
@@ -510,22 +592,23 @@ func (s *Scheduler) prefetchLocked() {
 	}
 	// Modules already resident (or arriving) anywhere in the pool are not
 	// worth a second copy.
-	resident := make(map[string]bool, len(s.members))
-	for _, ms := range s.members {
-		resident[ms.residentView()] = true
+	resident := make(map[string]bool, len(s.slots))
+	for _, ss := range s.slots {
+		resident[ss.residentView()] = true
 	}
-	candidates := s.opts.Predictor.Rank(2 * len(s.members) * len(s.members))
-	// The eviction loss is constant per member within the round; computing
-	// it once avoids per-candidate Resident/RestoreEstimate round trips
-	// through the members' locks.
-	loss := make(map[*memberState]float64, len(idle))
-	for _, ms := range idle {
-		if r := ms.m.Sys.Resident(); r != "" {
-			loss[ms] = s.opts.Predictor.Prob(r) * float64(restoreBytes(ms.m.Sys, r))
+	candidates := s.opts.Predictor.Rank(2 * len(s.slots) * len(s.slots))
+	// The eviction loss is constant per slot within the round; computing
+	// it once avoids per-candidate RestoreEstimate round trips through
+	// the members' locks (idle slots belong to quiet members, so those
+	// trips are brief).
+	loss := make(map[*slotState]float64, len(idle))
+	for _, ss := range idle {
+		if r := ss.resident; r != "" {
+			loss[ss] = s.opts.Predictor.Prob(r) * float64(restoreBytes(ss, r))
 		}
 	}
 	for speculating < limit && len(idle) > 0 {
-		// Choose the (idle member, predicted module) pair with the highest
+		// Choose the (idle slot, predicted module) pair with the highest
 		// expected profit in stream bytes:
 		//
 		//   Prob(predicted) * restore(predicted) - Prob(resident) * restore(resident)
@@ -547,24 +630,24 @@ func (s *Scheduler) prefetchLocked() {
 			if prob <= 0 {
 				continue
 			}
-			for i, ms := range idle {
-				if !ms.m.Sys.Supports(mod) {
+			for i, ss := range idle {
+				if !ss.supports(mod) {
 					continue
 				}
-				// Sized per member: restore estimates differ between the
-				// 32- and 64-bit fabrics.
-				save := prob * float64(restoreBytes(ms.m.Sys, mod))
-				profit := save - loss[ms]
+				// Sized per slot: restore estimates differ between the
+				// 32- and 64-bit fabrics (and between uneven regions).
+				save := prob * float64(restoreBytes(ss, mod))
+				profit := save - loss[ss]
 				if profit <= 0 || profit < bestProfit {
 					continue
 				}
-				// Only potential winners are stream-sized: PlanFor breaks
+				// Only potential winners are stream-sized: PlanForOn breaks
 				// profit ties toward the cheaper speculative transition,
 				// and skipping the clear losers keeps the member-lock
 				// round trips under the scheduler lock proportional to
 				// improvements, not candidates.
 				pb := int(^uint(0) >> 1)
-				if p, err := ms.m.Sys.PlanFor(mod); err == nil {
+				if p, err := ss.m.Sys.PlanForOn(ss.ri, mod); err == nil {
 					pb = p.Bytes
 				}
 				if profit > bestProfit || pb < bestPlan {
@@ -575,23 +658,33 @@ func (s *Scheduler) prefetchLocked() {
 		if bestIdle < 0 {
 			return
 		}
-		ms := idle[bestIdle]
-		idle = append(idle[:bestIdle], idle[bestIdle+1:]...)
+		ss := idle[bestIdle]
+		// The launched stream holds the member's lock until it lands, so
+		// the member is no longer quiet: drop every sibling slot from the
+		// idle list too, or the next iteration's plan sizing would block
+		// the scheduler lock behind this stream.
+		kept := idle[:0]
+		for _, other := range idle {
+			if other.m != ss.m {
+				kept = append(kept, other)
+			}
+		}
+		idle = kept
 		resident[bestMod] = true
 		speculating++
-		ms.specBusy, ms.specModule = true, bestMod
-		ms.specAbort = &abortToken{}
+		ss.specBusy, ss.specModule = true, bestMod
+		ss.specAbort = &abortToken{}
 		s.stats.PrefetchIssued++
 		s.specWG.Add(1)
-		go s.runSpeculative(ms, bestMod, ms.specAbort)
+		go s.runSpeculative(ss, bestMod, ss.specAbort)
 	}
 }
 
-// restoreBytes is a member's state-independent stream-size estimate for
+// restoreBytes is a slot's state-independent stream-size estimate for
 // hosting the module, with an unknown module costed as free (never worth
 // protecting or prefetching).
-func restoreBytes(sys *platform.System, module string) int {
-	b, err := sys.RestoreEstimate(module)
+func restoreBytes(ss *slotState, module string) int {
+	b, err := ss.m.Sys.RestoreEstimateOn(ss.ri, module)
 	if err != nil {
 		return 0
 	}
@@ -599,21 +692,39 @@ func restoreBytes(sys *platform.System, module string) int {
 }
 
 // runSpeculative drives one speculative load to completion or abort and
-// records its outcome.
-func (s *Scheduler) runSpeculative(ms *memberState, mod string, tok *abortToken) {
+// records its outcome. Every speculative byte is booked exactly once:
+// either as waste (here, on abort or on a completed stream that outran
+// its abort) or as consumed (on the prefetch hit that uses it) or it
+// stays pending in the slot's prefetched fields until one of the two.
+func (s *Scheduler) runSpeculative(ss *slotState, mod string, tok *abortToken) {
 	defer s.specWG.Done()
-	rep, err := ms.m.Sys.LoadSpeculative(mod, tok.aborted)
+	rep, err := ss.m.Sys.LoadSpeculativeOn(ss.ri, mod, tok.aborted)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ms.specBusy, ms.specModule, ms.specAbort = false, "", nil
+	ss.specBusy, ss.specModule, ss.specAbort = false, "", nil
 	st := &s.stats
 	st.PrefetchBytes += uint64(rep.Bytes)
 	st.PrefetchConfig += rep.Time
 	if rep.Bytes > 0 {
 		st.PrefetchLoads++
 	}
-	hitPending := ms.specHitPending
-	ms.specHitPending = false
+	hitPending := ss.specHitPending
+	ss.specHitPending = false
+	// Refresh the cached resident — but only when the slot was neither
+	// preempted nor claimed: a triggered token means a real dispatch (or
+	// Wait) owns the slot's fate, and its record() may already have run,
+	// so writing here could clobber the authoritative value with stale
+	// state (the same ordering hazard the prefetched fields guard
+	// against). A skipped write can leave the cache conservatively stale
+	// after a Wait-time abort; the manager's live hazard gate still plans
+	// every stream correctly.
+	if !tok.aborted() && !ss.busy {
+		if err == nil {
+			ss.resident = mod
+		} else {
+			ss.resident = ""
+		}
+	}
 	switch {
 	case err == nil && rep.Kind != plan.StreamNone:
 		st.PrefetchCompleted++
@@ -621,19 +732,20 @@ func (s *Scheduler) runSpeculative(ms *memberState, mod string, tok *abortToken)
 		case hitPending:
 			// A request is riding this stream to a hit right now.
 			st.PrefetchHits++
+			st.PrefetchConsumed += uint64(rep.Bytes)
 			st.HiddenConfig += rep.Time
 		case tok.aborted():
 			// The stream outran its abort: a dispatch for a different
-			// module (or Wait) claimed the member while the last words
+			// module (or Wait) claimed the slot while the last words
 			// were going out. The guessed resident is about to be
 			// overwritten — marking it prefetched now could outlive the
-			// preempting load's record and starve the member, so the
+			// preempting load's record and starve the slot, so the
 			// bytes are waste directly.
 			st.PrefetchWasted += uint64(rep.Bytes)
 		default:
-			ms.prefetched = mod
-			ms.prefetchedBytes = rep.Bytes
-			ms.prefetchedTime = rep.Time
+			ss.prefetched = mod
+			ss.prefetchedBytes = rep.Bytes
+			ss.prefetchedTime = rep.Time
 		}
 	case err == nil:
 		// The module was already resident when the stream was about to be
@@ -646,40 +758,49 @@ func (s *Scheduler) runSpeculative(ms *memberState, mod string, tok *abortToken)
 		st.PrefetchAborted++
 		st.PrefetchWasted += uint64(rep.Bytes)
 	}
-	if !ms.busy {
-		// The member is idle again (completed or abandoned stream with no
+	if !ss.busy {
+		// The slot is idle again (completed or abandoned stream with no
 		// real work waiting): a new dispatch round may find pending work it
 		// can now serve as a hit, or fresh prefetch opportunities.
 		s.dispatchLocked()
 	}
 }
 
-func (s *Scheduler) runBatch(ms *memberState, mi int, batch []*request) {
+func (s *Scheduler) runBatch(ss *slotState, si int, batch []*request) {
 	for _, req := range batch {
 		t := req.task
-		sys := ms.m.Sys
-		rep, err := sys.Execute(t.Module(), func() error { return t.Run(sys) })
+		sys := ss.m.Sys
+		rep, err := sys.ExecuteOn(ss.ri, t.Module(), func() error { return t.Run(sys) })
 		res := Result{ID: req.id, Task: t.Name(), Module: t.Module(),
-			Member: ms.m.ID, System: sys.Name, Report: rep, Err: err}
-		res.Seq = s.record(mi, res)
+			Member: ss.m.ID, Region: ss.ri, System: sys.Name, Report: rep, Err: err}
+		res.Seq = s.record(si, res)
 		req.ch <- res
 		s.wg.Done()
 	}
 	s.mu.Lock()
-	ms.busy = false
+	ss.busy = false
 	s.dispatchLocked()
 	s.mu.Unlock()
 }
 
-func (s *Scheduler) record(mi int, res Result) (seq uint64) {
+func (s *Scheduler) record(si int, res Result) (seq uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := &s.stats
 	st.Done++
 	seq = st.Done
+	// Refresh the cached resident: a clean execution leaves its module
+	// configured and verified; after an error the region's content is not
+	// trustworthy, so the slot reads as blank (worst case, never unsafe —
+	// the manager's own hazard gate still guards the streams).
+	if res.Err == nil {
+		s.slots[si].resident = res.Module
+	} else {
+		s.slots[si].resident = ""
+	}
 	st.Config += res.Report.Config
 	st.Work += res.Report.Work
-	st.BusyTime[mi] += res.Report.Latency()
+	st.BusyTime[si] += res.Report.Latency()
 	st.BytesStreamed += uint64(res.Report.BytesStreamed)
 	m := st.Modules[res.Module]
 	m.Requests++
@@ -701,18 +822,19 @@ func (s *Scheduler) record(mi int, res Result) (seq uint64) {
 		st.Misses++
 		m.Misses++
 	}
-	// Consume the member's prefetched module: the first hit on it banks
+	// Consume the slot's prefetched module: the first hit on it banks
 	// the speculative stream time as hidden; a real load replacing it
 	// books the speculative bytes as wasted.
-	if ms := s.members[mi]; ms.prefetched != "" {
+	if ss := s.slots[si]; ss.prefetched != "" {
 		switch {
-		case res.Report.CacheHit && res.Module == ms.prefetched:
+		case res.Report.CacheHit && res.Module == ss.prefetched:
 			st.PrefetchHits++
-			st.HiddenConfig += ms.prefetchedTime
-			ms.prefetched, ms.prefetchedBytes, ms.prefetchedTime = "", 0, 0
+			st.PrefetchConsumed += uint64(ss.prefetchedBytes)
+			st.HiddenConfig += ss.prefetchedTime
+			ss.prefetched, ss.prefetchedBytes, ss.prefetchedTime = "", 0, 0
 		case res.Report.Kind != plan.StreamNone:
-			st.PrefetchWasted += uint64(ms.prefetchedBytes)
-			ms.prefetched, ms.prefetchedBytes, ms.prefetchedTime = "", 0, 0
+			st.PrefetchWasted += uint64(ss.prefetchedBytes)
+			ss.prefetched, ss.prefetchedBytes, ss.prefetchedTime = "", 0, 0
 		}
 	}
 	if res.Err != nil {

@@ -65,7 +65,7 @@ func BrightnessHW(s *platform.System, a ImageArgs) error {
 	if err := a.check(); err != nil {
 		return err
 	}
-	if cur := s.Mgr.Current(); cur != "brightness" {
+	if cur := s.CurrentModule(); cur != "brightness" {
 		return fmt.Errorf("tasks: brightness module not loaded (current %q)", cur)
 	}
 	resetCore(s)
@@ -117,7 +117,7 @@ func BlendHW(s *platform.System, a ImageArgs) error {
 	if err := a.check(); err != nil {
 		return err
 	}
-	if cur := s.Mgr.Current(); cur != "blend" {
+	if cur := s.CurrentModule(); cur != "blend" {
 		return fmt.Errorf("tasks: blend module not loaded (current %q)", cur)
 	}
 	return combineHW(s, a, 0)
@@ -152,7 +152,7 @@ func FadeHW(s *platform.System, a ImageArgs) error {
 	if err := a.check(); err != nil {
 		return err
 	}
-	if cur := s.Mgr.Current(); cur != "fade" {
+	if cur := s.CurrentModule(); cur != "fade" {
 		return fmt.Errorf("tasks: fade module not loaded (current %q)", cur)
 	}
 	return combineHW(s, a, 1+a.F)
@@ -226,7 +226,7 @@ func writeDesc(c *cpu.CPU, addr, next, mem, length, flags uint32) {
 func runDMA(s *platform.System, chain uint32) error {
 	c := s.CPU
 	base := s.DockBase()
-	c.SW(platform.AddrINTC+intc.RegIER, 1<<platform.DockIRQLine)
+	c.SW(platform.AddrINTC+intc.RegIER, 1<<uint(s.DockIRQ()))
 	c.SW(base+dock.RegDMAPtr, chain)
 	c.SW(base+dock.RegDMACtrl, dock.DMAStart|dock.DMAIrqEn)
 	c.Sync()
@@ -235,7 +235,7 @@ func runDMA(s *platform.System, chain uint32) error {
 	}
 	st := c.LW(base + dock.RegDMAStat)
 	c.SW(base+dock.RegDMAStat, dock.DMADone)
-	c.SW(platform.AddrINTC+intc.RegIAR, 1<<platform.DockIRQLine)
+	c.SW(platform.AddrINTC+intc.RegIAR, 1<<uint(s.DockIRQ()))
 	if st&dock.DMAError != 0 {
 		return fmt.Errorf("tasks: DMA error reported by the dock")
 	}
@@ -287,7 +287,7 @@ func BrightnessDMA(s *platform.System, a ImageArgs, scratch uint32) error {
 	if !s.Is64 {
 		return fmt.Errorf("tasks: DMA drivers need the 64-bit system")
 	}
-	if cur := s.Mgr.Current(); cur != "brightness" {
+	if cur := s.CurrentModule(); cur != "brightness" {
 		return fmt.Errorf("tasks: brightness module not loaded (current %q)", cur)
 	}
 	resetCore(s)
@@ -329,7 +329,7 @@ type CombineDMAResult struct {
 
 // BlendDMA is the 64-bit DMA-controlled blending implementation.
 func BlendDMA(s *platform.System, a ImageArgs, scratch, packed uint32) (CombineDMAResult, error) {
-	if cur := s.Mgr.Current(); cur != "blend" {
+	if cur := s.CurrentModule(); cur != "blend" {
 		return CombineDMAResult{}, fmt.Errorf("tasks: blend module not loaded (current %q)", cur)
 	}
 	return combineDMA(s, a, scratch, packed, 0)
@@ -337,7 +337,7 @@ func BlendDMA(s *platform.System, a ImageArgs, scratch, packed uint32) (CombineD
 
 // FadeDMA is the 64-bit DMA-controlled fade implementation.
 func FadeDMA(s *platform.System, a ImageArgs, scratch, packed uint32) (CombineDMAResult, error) {
-	if cur := s.Mgr.Current(); cur != "fade" {
+	if cur := s.CurrentModule(); cur != "fade" {
 		return CombineDMAResult{}, fmt.Errorf("tasks: fade module not loaded (current %q)", cur)
 	}
 	return combineDMA(s, a, scratch, packed, 1+a.F)

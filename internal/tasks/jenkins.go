@@ -79,7 +79,7 @@ func JenkinsSW(s *platform.System, a JenkinsArgs) uint32 {
 // is why "the data transfer times are significant when compared to the
 // original software processing times" (§3.2).
 func JenkinsHW(s *platform.System, a JenkinsArgs) (uint32, error) {
-	if cur := s.Mgr.Current(); cur != "jenkins" {
+	if cur := s.CurrentModule(); cur != "jenkins" {
 		return 0, fmt.Errorf("tasks: jenkins module not loaded (current %q)", cur)
 	}
 	resetCore(s)

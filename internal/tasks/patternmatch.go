@@ -131,7 +131,7 @@ func PatternMatchSW(s *platform.System, a PatternArgs) PatternResult {
 // and the per-position match counts are read back packed four per word.
 // The caller must have loaded the "patternmatch" module.
 func PatternMatchHW(s *platform.System, a PatternArgs) (PatternResult, error) {
-	if cur := s.Mgr.Current(); cur != "patternmatch" {
+	if cur := s.CurrentModule(); cur != "patternmatch" {
 		return PatternResult{}, fmt.Errorf("tasks: patternmatch module not loaded (current %q)", cur)
 	}
 	resetCore(s)

@@ -103,7 +103,7 @@ func SHA1SW(s *platform.System, a SHA1Args) ([5]uint32, error) {
 // SHA1HW drives the SHA-1 core in the dynamic area with CPU-controlled
 // 32-bit transfers (Table 11's configuration).
 func SHA1HW(s *platform.System, a SHA1Args) ([5]uint32, error) {
-	if cur := s.Mgr.Current(); cur != "sha1" {
+	if cur := s.CurrentModule(); cur != "sha1" {
 		return [5]uint32{}, fmt.Errorf("tasks: sha1 module not loaded (current %q)", cur)
 	}
 	resetCore(s)

@@ -43,7 +43,7 @@ func (k TransferKind) String() string {
 // from the origin to the CPU and then from the CPU to the destination"
 // (§3.2) — both halves are included, as is the controlling software.
 func TransferCPU(s *platform.System, kind TransferKind, n int) (sim.Time, error) {
-	if cur := s.Mgr.Current(); cur != "passthrough" {
+	if cur := s.CurrentModule(); cur != "passthrough" {
 		return 0, fmt.Errorf("tasks: passthrough module not loaded (current %q)", cur)
 	}
 	resetCore(s)
@@ -90,7 +90,7 @@ func TransferDMA(s *platform.System, kind TransferKind, n int) (sim.Time, error)
 	if !s.Is64 {
 		return 0, fmt.Errorf("tasks: DMA transfers need the 64-bit system")
 	}
-	if cur := s.Mgr.Current(); cur != "passthrough" {
+	if cur := s.CurrentModule(); cur != "passthrough" {
 		return 0, fmt.Errorf("tasks: passthrough module not loaded (current %q)", cur)
 	}
 	resetCore(s)
@@ -175,5 +175,5 @@ func prefillFIFO(s *platform.System, n int) {
 // EnableDockIRQ programs the interrupt controller for the dock line (used
 // by examples).
 func EnableDockIRQ(s *platform.System) {
-	s.CPU.SW(platform.AddrINTC+intc.RegIER, 1<<platform.DockIRQLine)
+	s.CPU.SW(platform.AddrINTC+intc.RegIER, 1<<uint(s.DockIRQ()))
 }
