@@ -1,4 +1,4 @@
-.PHONY: build test race vet fmt bench benchgate fuzz regionsmoke gobench sim sched
+.PHONY: build test race vet fmt bench benchgate fuzz regionsmoke faultsmoke replay gobench sim sched
 
 build:
 	go build ./...
@@ -18,10 +18,11 @@ fmt:
 
 # Write the scheduler perf trajectory: the S2 placement comparison
 # (complete-only vs planner-backed, lru vs mincost), the S3 prefetch
-# comparison (visible config time with and without speculative loads) and
-# the S4 region-granularity comparison (single- vs dual-region boards at
-# equal total fabric) on the seeded 60-request mixed workload, as tables
-# on stdout and BENCH_sched.json.
+# comparison (visible config time with and without speculative loads), the
+# S4 region-granularity comparison (single- vs dual-region boards at equal
+# total fabric) and the S7 fault sweep (availability under injected upsets
+# with scrubbing) on the seeded 60-request mixed workload, as tables on
+# stdout and BENCH_sched.json.
 bench:
 	go run ./cmd/fpgad -compare -json BENCH_sched.json -sys32 2 -sys64 2 -n 60 -seed 7 -batch 4 \
 		-mix "sha1=1,jenkins=2,patternmatch=1,brightness=2,blend=2,fade=2,transfer=1"
@@ -29,7 +30,7 @@ bench:
 # CI bench-regression gate: rerun the comparison into a scratch file and
 # fail if visible config time or bytes streamed regress past tolerance
 # against the committed BENCH_sched.json on any configuration (15% on the
-# deterministic S3 and S4 rows; the concurrency-noisy S2 rows carry a
+# deterministic S3, S4 and S7 rows; the concurrency-noisy S2 rows carry a
 # wider per-record band). After an intended perf change, run `make bench`
 # and commit the refreshed baseline.
 benchgate:
@@ -49,6 +50,23 @@ fuzz:
 # speculative byte conservation under the race detector.
 regionsmoke:
 	go test -run Region -race ./...
+
+# Fault smoke: injection, readback scrubbing, quarantine/repair and the
+# scrub/abort interaction, under the race detector.
+faultsmoke:
+	go test -run 'Fault|Scrub' -race ./...
+
+# Fault replay: generate the seeded S7 upset campaign as a JSONL artifact,
+# then replay it against the scheduled pool and write the availability
+# records. Both steps are deterministic for a fixed seed: rerunning
+# reproduces artifacts/fault-replay byte for byte.
+replay:
+	mkdir -p artifacts/fault-replay
+	go run ./cmd/faultreplay -scenario sweep -n 60 -seed 7 \
+		-out artifacts/fault-replay/fault_scenarios.jsonl
+	go run ./cmd/faultreplay -scenario sweep -n 60 -seed 7 \
+		-replay artifacts/fault-replay/fault_scenarios.jsonl \
+		-json artifacts/fault-replay/BENCH_replay.json
 
 # Go benchmark harness (paper tables + scheduler economics).
 gobench:

@@ -100,12 +100,27 @@ func run(args []string, out, errw io.Writer) int {
 			name      string
 			base, now float64
 			unit      string
+			zeroEps   float64
 		}{
-			{"config time", b.ConfigMs, f.ConfigMs, "ms"},
-			{"bytes streamed", float64(b.BytesStreamed), float64(f.BytesStreamed), "B"},
+			{"config time", b.ConfigMs, f.ConfigMs, "ms", 0.01},
+			{"bytes streamed", float64(b.BytesStreamed), float64(f.BytesStreamed), "B", 0},
 		} {
-			delta := pct(m.base, m.now)
 			status := "ok  "
+			if m.base == 0 {
+				// A percentage of zero is undefined: whatever tolerance band
+				// the record carries, scaling it by a zero baseline would
+				// admit nothing or (mapped to a fixed percent) admit
+				// arbitrary absolute growth under a wide band. Gate the
+				// absolute delta instead, against a per-metric epsilon.
+				if m.now > m.zeroEps {
+					status = "FAIL"
+					failures++
+				}
+				fmt.Fprintf(out, "%s %-32s %-14s %12.3f %s -> %12.3f %s  (zero baseline, allowed +%.3g %s absolute)\n",
+					status, k, m.name, m.base, m.unit, m.now, m.unit, m.zeroEps, m.unit)
+				continue
+			}
+			delta := 100 * (m.now - m.base) / m.base
 			if delta > allowed {
 				status = "FAIL"
 				failures++
@@ -129,18 +144,6 @@ func run(args []string, out, errw io.Writer) int {
 }
 
 func key(r record) string { return r.Table + "/" + r.Label }
-
-// pct is the regression of now against base in percent; a zero baseline
-// only regresses if the fresh value is nonzero.
-func pct(base, now float64) float64 {
-	if base == 0 {
-		if now == 0 {
-			return 0
-		}
-		return 100
-	}
-	return 100 * (now - base) / base
-}
 
 func load(path string) ([]record, error) {
 	data, err := os.ReadFile(path)

@@ -168,3 +168,60 @@ func TestBadInputs(t *testing.T) {
 		})
 	}
 }
+
+// TestZeroBaselineGating: a 0-valued baseline metric cannot be gated in
+// percent (any band scaled by zero admits nothing, and a fixed mapping to
+// 100% silently passes under a wide per-record tolerance). The gate
+// switches to absolute deltas: a fresh value within the per-metric epsilon
+// passes, anything beyond it fails regardless of the tolerance band.
+func TestZeroBaselineGating(t *testing.T) {
+	zeroBase := `[
+	  {"table":"S7","label":"rate-0+scrub","config_ms":0,"bytes_streamed":0,"tolerance_pct":500}
+	]`
+	cases := []struct {
+		name     string
+		fresh    string
+		wantExit int
+		wantOut  string
+	}{
+		{
+			name:     "zero stays zero",
+			fresh:    `[{"table":"S7","label":"rate-0+scrub","config_ms":0,"bytes_streamed":0}]`,
+			wantExit: 0,
+			wantOut:  "zero baseline",
+		},
+		{
+			name:     "config time within epsilon",
+			fresh:    `[{"table":"S7","label":"rate-0+scrub","config_ms":0.005,"bytes_streamed":0}]`,
+			wantExit: 0,
+			wantOut:  "zero baseline",
+		},
+		{
+			name:     "config time grows past epsilon despite wide band",
+			fresh:    `[{"table":"S7","label":"rate-0+scrub","config_ms":5.0,"bytes_streamed":0}]`,
+			wantExit: 1,
+			wantOut:  "FAIL S7/rate-0+scrub",
+		},
+		{
+			name:     "any byte on a zero-byte baseline fails",
+			fresh:    `[{"table":"S7","label":"rate-0+scrub","config_ms":0,"bytes_streamed":1}]`,
+			wantExit: 1,
+			wantOut:  "FAIL S7/rate-0+scrub",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			b := write(t, dir, "base.json", zeroBase)
+			f := write(t, dir, "fresh.json", tc.fresh)
+			var out, errw bytes.Buffer
+			if code := run([]string{"-baseline", b, "-fresh", f}, &out, &errw); code != tc.wantExit {
+				t.Fatalf("exit %d, want %d; stdout:\n%s\nstderr:\n%s",
+					code, tc.wantExit, out.String(), errw.String())
+			}
+			if !strings.Contains(out.String(), tc.wantOut) {
+				t.Errorf("stdout missing %q:\n%s", tc.wantOut, out.String())
+			}
+		})
+	}
+}

@@ -161,6 +161,15 @@ type PlacementRecord struct {
 	PrefetchWastedBytes uint64  `json:"prefetch_wasted_bytes,omitempty"`
 	HiddenMs            float64 `json:"hidden_ms,omitempty"`
 
+	// S7 fault-replay fields; zero for the other tables.
+	FaultsInjected uint64  `json:"faults_injected,omitempty"`
+	FaultsDetected uint64  `json:"faults_detected,omitempty"`
+	Requeues       uint64  `json:"requeues,omitempty"`
+	Repairs        uint64  `json:"repairs,omitempty"`
+	RepairMs       float64 `json:"repair_ms,omitempty"`
+	Availability   float64 `json:"availability,omitempty"`
+	P99Ms          float64 `json:"p99_ms,omitempty"`
+
 	// TolerancePct is how much this configuration may regress before the
 	// CI gate (cmd/benchdiff) fails, overriding the gate's default. The
 	// paced S3 rows are deterministic and gate tight; the SubmitAll S2

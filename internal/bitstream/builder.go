@@ -19,12 +19,17 @@ type Builder struct {
 	dev   *fabric.Device
 	words []uint32
 	crc   uint16
+	// crcAt is the index of the CRC check value Finish wrote (-1 before).
+	// Recorded rather than rediscovered: scanning the finished stream for
+	// the CRC register header can land on a frame data word that happens
+	// to equal it.
+	crcAt int
 	err   error
 }
 
 // NewBuilder returns a stream builder for the device.
 func NewBuilder(dev *fabric.Device) *Builder {
-	return &Builder{dev: dev}
+	return &Builder{dev: dev, crcAt: -1}
 }
 
 // Err returns the first error encountered while building.
@@ -114,6 +119,7 @@ func (b *Builder) Finish() (*Stream, error) {
 		return nil, b.err
 	}
 	// Writing the running CRC value makes the device-side comparison pass.
+	b.crcAt = len(b.words) + 1
 	b.words = append(b.words, type1Header(opWrite, RegCRC, 1), uint32(b.crc))
 	b.Command(CmdStart)
 	b.Command(CmdDesync)
@@ -141,19 +147,18 @@ func Build(dev *fabric.Device, runs []FrameRun) (*Stream, error) {
 }
 
 // BuildCorrupt is Build with the final CRC deliberately damaged; used by
-// tests and the fault-injection benchmarks.
+// tests and the fault-injection benchmarks. The damaged word is the one
+// Finish recorded — a payload word that happens to equal the CRC register
+// header cannot decoy the corruption onto frame data.
 func BuildCorrupt(dev *fabric.Device, runs []FrameRun) (*Stream, error) {
-	s, err := Build(dev, runs)
+	b := NewBuilder(dev).Preamble()
+	for _, r := range runs {
+		b.WriteRun(r)
+	}
+	s, err := b.Finish()
 	if err != nil {
 		return nil, err
 	}
-	// The CRC value is the word after the CRC register header, four words
-	// from the end (CRC hdr, CRC val, CMD hdr, START, CMD hdr, DESYNC, 2 pads).
-	for i := len(s.Words) - 1; i > 0; i-- {
-		if s.Words[i-1] == type1Header(opWrite, RegCRC, 1) {
-			s.Words[i] ^= 0x5555
-			return s, nil
-		}
-	}
-	return nil, fmt.Errorf("bitstream: CRC word not found")
+	s.Words[b.crcAt] ^= 0x5555
+	return s, nil
 }

@@ -84,3 +84,55 @@ func TestSingleBitCorruptionDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Regression: BuildCorrupt must damage the CRC check value Finish wrote,
+// not a frame data word that happens to equal the CRC register header.
+// The payload here is maximally adversarial — every data word IS the
+// header encoding — so any rediscovery-by-scanning picks a decoy, while
+// the recorded index cannot be fooled.
+func TestBuildCorruptFlipsRecordedCRCWord(t *testing.T) {
+	dev := fabric.XC2VP7()
+	flen := dev.FrameLen()
+	decoy := type1Header(opWrite, RegCRC, 1)
+	frame := make([]uint32, flen)
+	for i := range frame {
+		frame[i] = decoy
+	}
+	runs := []FrameRun{{Start: fabric.FAR{Block: fabric.BlockCLB, Major: 4, Minor: 0},
+		Frames: [][]uint32{frame}}}
+	clean, err := Build(dev, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt, err := BuildCorrupt(dev, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Words) != len(corrupt.Words) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(clean.Words), len(corrupt.Words))
+	}
+	diff := -1
+	for i := range clean.Words {
+		if clean.Words[i] != corrupt.Words[i] {
+			if diff >= 0 {
+				t.Fatalf("streams differ at both %d and %d, want exactly one damaged word", diff, i)
+			}
+			diff = i
+		}
+	}
+	// Finish's epilogue is CRC hdr, CRC value, CMD hdr, START, CMD hdr,
+	// DESYNC, two pads: the check value sits seven words from the end.
+	if want := len(clean.Words) - 7; diff != want {
+		t.Fatalf("damaged word at %d, want the CRC check value at %d", diff, want)
+	}
+	if clean.Words[diff-1] != decoy {
+		t.Fatalf("word before the damaged one is %#x, want the CRC register header", clean.Words[diff-1])
+	}
+	// The clean stream must configure; the corrupt one must be rejected.
+	if err := NewLoader(fabric.NewConfigMemory(dev)).Load(clean); err != nil {
+		t.Fatalf("clean stream rejected: %v", err)
+	}
+	if err := NewLoader(fabric.NewConfigMemory(dev)).Load(corrupt); err == nil {
+		t.Fatal("corrupt stream accepted")
+	}
+}

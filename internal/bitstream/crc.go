@@ -32,3 +32,12 @@ func crcStream(crc uint16, reg Reg, words []uint32) uint16 {
 	}
 	return crc
 }
+
+// FrameCRC folds one frame's words into a running readback CRC, exactly as
+// the configuration logic would see them arriving at the FDRI register. A
+// readback scrubber folds every frame of a region's spans and compares the
+// result against the value recorded when the region was last verified: the
+// bit-serial CRC16 catches every single-bit upset.
+func FrameCRC(crc uint16, words []uint32) uint16 {
+	return crcStream(crc, RegFDRI, words)
+}

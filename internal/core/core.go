@@ -19,6 +19,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/icap"
 	"repro/internal/plan"
+	"repro/internal/region"
 	"repro/internal/sim"
 )
 
@@ -134,6 +135,21 @@ type Manager struct {
 	completeLoads uint64
 	abortedLoads  uint64
 	corrupted     bool
+
+	// spans are the region's frame-index intervals — the readback window
+	// of the scrub pass and the injectable surface of the fault campaign.
+	// bandLo/bandHi bound the region's row-band words inside those frames:
+	// faults are confined to the band because a flip outside it (static
+	// content sharing the region's full-height frames) would read as
+	// static-design corruption, which is sticky by design.
+	spans          []region.Span
+	bandLo, bandHi int
+	// goldenCRC is the readback CRC over the span frames as of the last
+	// verified configuration; valid exactly while residentOK holds.
+	goldenCRC      uint16
+	scrubPasses    uint64
+	scrubFaults    uint64
+	faultsInjected uint64
 }
 
 // ErrAborted reports that an abortable load was stopped at a safe stream
@@ -162,6 +178,9 @@ func NewManager(cfg Config) (*Manager, error) {
 		residentOK:   true, // the initial full configuration leaves the region blank
 	}
 	m.lastHash = m.baselineHash
+	m.spans = region.Spans(cfg.Device, cfg.Region)
+	m.bandLo, m.bandHi = cfg.Device.RowWordRange(cfg.Region.Row0, cfg.Region.H)
+	m.goldenCRC = m.readbackCRC()
 	cfg.Loader.OnDone(m.rebind)
 	return m, nil
 }
@@ -488,6 +507,7 @@ func (m *Manager) rebind() {
 		e.loads++
 		m.current = e.comp.Name
 		m.residentOK = true
+		m.goldenCRC = m.readbackCRC()
 		core := e.factory()
 		core.Reset()
 		m.cfg.Bind(core)
@@ -495,6 +515,7 @@ func (m *Manager) rebind() {
 		// The region went back to the blank baseline: tracked and known.
 		m.current = ""
 		m.residentOK = true
+		m.goldenCRC = m.readbackCRC()
 		m.cfg.Bind(hw.NewBrokenCore(h))
 	} else {
 		// Unrecognized content (e.g. a differential stream applied against
@@ -506,6 +527,104 @@ func (m *Manager) rebind() {
 	if m.liveStaticHash() != m.staticHash {
 		m.corrupted = true
 	}
+}
+
+// readbackCRC folds every frame of the region's spans into one CRC16, the
+// way a readback scrub would see them coming out of the configuration
+// port. The bit-serial CRC detects every single-bit upset in the window.
+func (m *Manager) readbackCRC() uint16 {
+	var crc uint16
+	for _, sp := range m.spans {
+		for fi := sp.Lo; fi < sp.Hi; fi++ {
+			far, err := m.cfg.Device.FARAt(fi)
+			if err != nil {
+				continue // unreachable: spans come from the same device
+			}
+			f, err := m.cfg.ConfigMem.ReadFrame(far)
+			if err != nil {
+				continue
+			}
+			crc = bitstream.FrameCRC(crc, f)
+		}
+	}
+	return crc
+}
+
+// Scrub runs one readback-CRC pass over the region's frame spans. A
+// mismatch against the golden CRC means the resident configuration took a
+// soft error: the tracked resident state is demoted to non-authoritative
+// (detected=true, module names what was lost — "" for a blank region),
+// and the §2.2 hazard gate forces the region's next load onto a complete
+// stream, which overwrites every span frame and thereby heals the flip. A
+// region whose state is already non-authoritative (aborted speculative
+// stream, earlier detection) is not re-scrubbed: its golden CRC is stale
+// by definition and a second demotion would double-count the same loss.
+func (m *Manager) Scrub() (detected bool, module string) {
+	m.scrubPasses++
+	if !m.residentOK || m.corrupted {
+		return false, ""
+	}
+	if m.readbackCRC() == m.goldenCRC {
+		return false, ""
+	}
+	m.scrubFaults++
+	module = m.current
+	m.residentOK = false
+	return true, module
+}
+
+// ScrubStats reports how many scrub passes ran and how many detected
+// corruption.
+func (m *Manager) ScrubStats() (passes, faults uint64) {
+	return m.scrubPasses, m.scrubFaults
+}
+
+// FaultsInjected reports how many bit-flips InjectFault applied.
+func (m *Manager) FaultsInjected() uint64 { return m.faultsInjected }
+
+// FaultSpace reports the injectable coordinate space of the region: the
+// number of span frames and the number of row-band words per frame. A
+// fault campaign draws (frame, word, bit) coordinates inside this space.
+func (m *Manager) FaultSpace() (frames, words int) {
+	for _, sp := range m.spans {
+		frames += sp.Frames()
+	}
+	return frames, m.bandHi - m.bandLo
+}
+
+// InjectFault flips one configuration bit of the region: frame indexes the
+// span frames in span order, word the row-band words of that frame, bit
+// the bit within the word. The flip lands directly in configuration
+// memory — an SEU, not a stream — so nothing rebinds and no counter but
+// the injection count moves until a scrub (or the next rebind's hash
+// mismatch) notices. Coordinates outside the region's band are rejected:
+// the band boundary is what separates a region fault (recoverable by a
+// complete reload) from static-design damage (sticky corruption).
+func (m *Manager) InjectFault(frame, word int, bit uint) error {
+	fi := -1
+	rest := frame
+	for _, sp := range m.spans {
+		if rest < sp.Frames() {
+			fi = sp.Lo + rest
+			break
+		}
+		rest -= sp.Frames()
+	}
+	if frame < 0 || fi < 0 {
+		return fmt.Errorf("core: fault frame %d outside region %s's spans", frame, m.cfg.Region.Name)
+	}
+	if word < 0 || m.bandLo+word >= m.bandHi {
+		return fmt.Errorf("core: fault word %d outside region %s's row band", word, m.cfg.Region.Name)
+	}
+	far, err := m.cfg.Device.FARAt(fi)
+	if err != nil {
+		return err
+	}
+	if err := m.cfg.ConfigMem.FlipBit(far, m.bandLo+word, bit); err != nil {
+		return err
+	}
+	m.faultsInjected++
+	return nil
 }
 
 // liveStaticHash is the current static hash, through the shared memoizer

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+)
+
+// TestScrubDetectsInjectedFault drives the manager-level fault loop: a
+// clean region scrubs clean, an injected bit-flip is caught by the next
+// readback pass (demoting the resident state), and the forced complete
+// reload both restores authority and heals the flip.
+func TestScrubDetectsInjectedFault(t *testing.T) {
+	mgr, _, region, _ := rig(t)
+	if err := mgr.Register(testComponent("alpha", region), func() hw.Core { return &testCore{id: 1} }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Load("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if detected, _ := mgr.Scrub(); detected {
+		t.Fatal("clean region scrubbed dirty")
+	}
+	frames, words := mgr.FaultSpace()
+	if frames <= 0 || words <= 0 {
+		t.Fatalf("fault space (%d, %d), want nonempty", frames, words)
+	}
+	if err := mgr.InjectFault(frames-1, words-1, 31); err != nil {
+		t.Fatal(err)
+	}
+	// The flip is invisible to everything but readback until then.
+	if cur, ok := mgr.ResidentState(); !ok || cur != "alpha" {
+		t.Fatalf("resident state (%q, %v) moved by silent fault", cur, ok)
+	}
+	detected, module := mgr.Scrub()
+	if !detected || module != "alpha" {
+		t.Fatalf("scrub returned (%v, %q), want detection of alpha", detected, module)
+	}
+	if _, ok := mgr.ResidentState(); ok {
+		t.Fatal("resident state still authoritative after detection")
+	}
+	// A second scrub of the demoted region must not report a second loss.
+	if detected, _ := mgr.Scrub(); detected {
+		t.Fatal("second scrub double-demoted the region")
+	}
+	// Repair: reloading the lost module streams complete (the gate refuses
+	// the free-reload shortcut on non-authoritative state) and heals.
+	d, err := mgr.Load("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == 0 {
+		t.Fatal("repair load cost no time: the demoted region took the resident shortcut")
+	}
+	if cur, ok := mgr.ResidentState(); !ok || cur != "alpha" {
+		t.Fatalf("resident state (%q, %v) after repair, want authoritative alpha", cur, ok)
+	}
+	if detected, _ := mgr.Scrub(); detected {
+		t.Fatal("scrub detects corruption after the healing reload")
+	}
+	if mgr.Corrupted() {
+		t.Fatal("static design corrupted: injection escaped the region band")
+	}
+	passes, faults := mgr.ScrubStats()
+	if passes != 4 || faults != 1 {
+		t.Errorf("scrub stats (%d passes, %d faults), want (4, 1)", passes, faults)
+	}
+	if mgr.FaultsInjected() != 1 {
+		t.Errorf("faults injected = %d, want 1", mgr.FaultsInjected())
+	}
+}
+
+// TestInjectFaultRejectsOutOfBand: coordinates outside the region's span
+// frames or row band are refused — a flip outside the band would damage
+// static frame content, which is sticky corruption, not a recoverable
+// region fault.
+func TestInjectFaultRejectsOutOfBand(t *testing.T) {
+	mgr, _, _, _ := rig(t)
+	frames, words := mgr.FaultSpace()
+	cases := []struct {
+		name        string
+		frame, word int
+		bit         uint
+	}{
+		{"frame past spans", frames, 0, 0},
+		{"negative frame", -1, 0, 0},
+		{"word past band", 0, words, 0},
+		{"negative word", 0, -1, 0},
+		{"bit past word", 0, 0, 32},
+	}
+	for _, tc := range cases {
+		if err := mgr.InjectFault(tc.frame, tc.word, tc.bit); err == nil {
+			t.Errorf("%s: injection accepted", tc.name)
+		}
+	}
+	if mgr.FaultsInjected() != 0 {
+		t.Errorf("rejected injections counted: %d", mgr.FaultsInjected())
+	}
+}

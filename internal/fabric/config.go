@@ -57,6 +57,23 @@ func (cm *ConfigMemory) ReadFrame(far FAR) ([]uint32, error) {
 	return out, nil
 }
 
+// FlipBit inverts a single configuration bit in place — the soft-error
+// model of the fault-injection campaign (an SEU flips one SRAM cell).
+// Unlike WriteFrame it does not count as configuration activity: nothing
+// streamed through the configuration port.
+func (cm *ConfigMemory) FlipBit(far FAR, word int, bit uint) error {
+	i, err := cm.dev.FrameIndex(far)
+	if err != nil {
+		return err
+	}
+	if word < 0 || word >= cm.dev.FrameLen() || bit > 31 {
+		return fmt.Errorf("fabric: bit (%d,%d) outside the %d-word frame geometry",
+			word, bit, cm.dev.FrameLen())
+	}
+	cm.frames[i][word] ^= 1 << bit
+	return nil
+}
+
 // frame returns the live frame slice (internal use).
 func (cm *ConfigMemory) frame(far FAR) []uint32 {
 	i, err := cm.dev.FrameIndex(far)

@@ -1,0 +1,256 @@
+// Package fault generates, serializes, and replays configuration-memory
+// upset scenarios against a pool of simulated platforms. A scenario is a
+// seeded, fully deterministic schedule of single-bit flips — "after the
+// k-th request completes, flip bit b of word w of frame f in region r of
+// member m" — so a fault campaign can be written to a JSONL artifact once
+// and re-run bit-identically by the replay bench and by CI. Injection
+// itself is delegated to platform.InjectFaultOn, which restricts flips to
+// the region's own frame band: every scenario event is a recoverable
+// region fault, never sticky static-design damage.
+package fault
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/pool"
+)
+
+// Event is one scheduled bit-flip. AfterDone is the request-completion
+// count that triggers it: the event fires once at least that many
+// requests have finished, modelling an upset arriving mid-workload.
+// Frame and Word are span-local coordinates inside the target region's
+// fault space (see platform.FaultSpaceOn).
+type Event struct {
+	AfterDone int  `json:"after_done"`
+	Member    int  `json:"member"`
+	Region    int  `json:"region"`
+	Frame     int  `json:"frame"`
+	Word      int  `json:"word"`
+	Bit       uint `json:"bit"`
+}
+
+// Scenario is a named, seeded fault schedule for one workload run.
+// Rate is the per-request upset probability the schedule was drawn with;
+// Requests is the workload length it was sized for. Events are ordered
+// by AfterDone.
+type Scenario struct {
+	Name     string  `json:"name"`
+	Seed     int64   `json:"seed"`
+	Rate     float64 `json:"rate"`
+	Requests int     `json:"requests"`
+	Events   []Event `json:"-"`
+}
+
+// Slot describes one injectable (member, region) target and the size of
+// its fault space, in span-local frames and band words.
+type Slot struct {
+	Member int
+	Region int
+	Frames int
+	Words  int
+}
+
+// PoolSlots enumerates every region of every member of the pool as an
+// injection target.
+func PoolSlots(p *pool.Pool) []Slot {
+	var out []Slot
+	for _, m := range p.Members() {
+		for ri := 0; ri < m.Sys.NumRegions(); ri++ {
+			frames, words := m.Sys.FaultSpaceOn(ri)
+			out = append(out, Slot{Member: m.ID, Region: ri, Frames: frames, Words: words})
+		}
+	}
+	return out
+}
+
+// Apply injects one event into the pool. The platform rejects
+// out-of-band coordinates, so a malformed or stale artifact cannot
+// corrupt static state.
+func Apply(p *pool.Pool, e Event) error {
+	members := p.Members()
+	if e.Member < 0 || e.Member >= len(members) {
+		return fmt.Errorf("fault: event targets member %d of %d", e.Member, len(members))
+	}
+	return members[e.Member].Sys.InjectFaultOn(e.Region, e.Frame, e.Word, e.Bit)
+}
+
+// Generate draws a uniform scenario: after each of the n request
+// completions, with probability rate, one bit flips in a uniformly
+// chosen slot, frame, word, and bit. The same (seed, n, rate, slots)
+// always yields the same schedule.
+func Generate(name string, seed int64, n int, rate float64, slots []Slot) Scenario {
+	sc := Scenario{Name: name, Seed: seed, Rate: rate, Requests: n}
+	rng := rand.New(rand.NewSource(seed))
+	for done := 1; done <= n; done++ {
+		if rng.Float64() >= rate {
+			continue
+		}
+		sc.Events = append(sc.Events, draw(rng, done, slots))
+	}
+	return sc
+}
+
+// Burst draws a clustered scenario: the same expected number of upsets
+// as Generate at the given rate, but concentrated (at 3x intensity) in
+// the middle third of the workload — the correlated-upset shape that
+// stresses quarantine backlog rather than steady-state repair.
+func Burst(name string, seed int64, n int, rate float64, slots []Slot) Scenario {
+	sc := Scenario{Name: name, Seed: seed, Rate: rate, Requests: n}
+	rng := rand.New(rand.NewSource(seed))
+	for done := n / 3; done < 2*n/3; done++ {
+		if rng.Float64() >= rate*3 {
+			continue
+		}
+		sc.Events = append(sc.Events, draw(rng, done+1, slots))
+	}
+	return sc
+}
+
+func draw(rng *rand.Rand, done int, slots []Slot) Event {
+	s := slots[rng.Intn(len(slots))]
+	return Event{
+		AfterDone: done,
+		Member:    s.Member,
+		Region:    s.Region,
+		Frame:     rng.Intn(s.Frames),
+		Word:      rng.Intn(s.Words),
+		Bit:       uint(rng.Intn(32)),
+	}
+}
+
+// Rates is the upset-probability sweep the S7 availability table reports.
+var Rates = []float64{0, 0.05, 0.15, 0.3}
+
+// Campaign expands a named preset into its scenarios:
+//
+//	sweep   — one uniform scenario per rate in Rates ("rate-0", "rate-0.05", ...)
+//	uniform — a single uniform scenario at rate 0.15
+//	burst   — a single clustered scenario at rate 0.15
+func Campaign(preset string, seed int64, n int, slots []Slot) ([]Scenario, error) {
+	switch preset {
+	case "sweep":
+		out := make([]Scenario, 0, len(Rates))
+		for i, rate := range Rates {
+			out = append(out, Generate(fmt.Sprintf("rate-%g", rate), seed+int64(i), n, rate, slots))
+		}
+		return out, nil
+	case "uniform":
+		return []Scenario{Generate("uniform", seed, n, 0.15, slots)}, nil
+	case "burst":
+		return []Scenario{Burst("burst", seed, n, 0.15, slots)}, nil
+	}
+	return nil, fmt.Errorf("fault: unknown campaign %q (want sweep, uniform, or burst)", preset)
+}
+
+// Cursor walks a scenario's events in completion order.
+type Cursor struct {
+	events []Event
+	next   int
+}
+
+// Cursor returns a walker over the scenario's events.
+func (sc Scenario) Cursor() *Cursor { return &Cursor{events: sc.Events} }
+
+// Due returns the events triggered by reaching the given completion
+// count, advancing past them. Events fire at most once.
+func (c *Cursor) Due(done int) []Event {
+	start := c.next
+	for c.next < len(c.events) && c.events[c.next].AfterDone <= done {
+		c.next++
+	}
+	return c.events[start:c.next]
+}
+
+// scenarioLine and faultLine are the two JSONL record kinds: a scenario
+// header followed by one line per event, so the artifact is greppable
+// and diffs line-by-line.
+type scenarioLine struct {
+	Kind     string  `json:"kind"`
+	Name     string  `json:"name"`
+	Seed     int64   `json:"seed"`
+	Rate     float64 `json:"rate"`
+	Requests int     `json:"requests"`
+	Events   int     `json:"events"`
+}
+
+type faultLine struct {
+	Kind string `json:"kind"`
+	Event
+}
+
+// Write serializes scenarios as JSONL: each scenario emits a
+// {"kind":"scenario",...} header line followed by its
+// {"kind":"fault",...} event lines.
+func Write(w io.Writer, scenarios []Scenario) error {
+	enc := json.NewEncoder(w)
+	for _, sc := range scenarios {
+		if err := enc.Encode(scenarioLine{Kind: "scenario", Name: sc.Name, Seed: sc.Seed,
+			Rate: sc.Rate, Requests: sc.Requests, Events: len(sc.Events)}); err != nil {
+			return err
+		}
+		for _, e := range sc.Events {
+			if err := enc.Encode(faultLine{Kind: "fault", Event: e}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Read parses a JSONL artifact written by Write. Fault lines attach to
+// the most recent scenario header; the header's event count is checked
+// so a truncated artifact is caught rather than silently replayed short.
+func Read(r io.Reader) ([]Scenario, error) {
+	var out []Scenario
+	var want []int
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var kind struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(line, &kind); err != nil {
+			return nil, fmt.Errorf("fault: line %d: %w", lineNo, err)
+		}
+		switch kind.Kind {
+		case "scenario":
+			var h scenarioLine
+			if err := json.Unmarshal(line, &h); err != nil {
+				return nil, fmt.Errorf("fault: line %d: %w", lineNo, err)
+			}
+			out = append(out, Scenario{Name: h.Name, Seed: h.Seed, Rate: h.Rate, Requests: h.Requests})
+			want = append(want, h.Events)
+		case "fault":
+			if len(out) == 0 {
+				return nil, fmt.Errorf("fault: line %d: fault before any scenario header", lineNo)
+			}
+			var f faultLine
+			if err := json.Unmarshal(line, &f); err != nil {
+				return nil, fmt.Errorf("fault: line %d: %w", lineNo, err)
+			}
+			out[len(out)-1].Events = append(out[len(out)-1].Events, f.Event)
+		default:
+			return nil, fmt.Errorf("fault: line %d: unknown kind %q", lineNo, kind.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for i := range out {
+		if len(out[i].Events) != want[i] {
+			return nil, fmt.Errorf("fault: scenario %q has %d events, header promised %d (truncated artifact?)",
+				out[i].Name, len(out[i].Events), want[i])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,184 @@
+package fault
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/pool"
+)
+
+func testSlots() []Slot {
+	return []Slot{
+		{Member: 0, Region: 0, Frames: 12, Words: 28},
+		{Member: 0, Region: 1, Frames: 12, Words: 28},
+		{Member: 1, Region: 0, Frames: 12, Words: 28},
+	}
+}
+
+// TestGenerateDeterministicAndInBounds: the same (seed, n, rate, slots)
+// yields the same schedule, the schedule is ordered by completion count,
+// and every event stays inside its slot's fault space.
+func TestGenerateDeterministicAndInBounds(t *testing.T) {
+	slots := testSlots()
+	a := Generate("u", 42, 200, 0.2, slots)
+	b := Generate("u", 42, 200, 0.2, slots)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("rate 0.2 over 200 requests drew no events")
+	}
+	if c := Generate("u", 43, 200, 0.2, slots); reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	last := 0
+	for _, e := range a.Events {
+		if e.AfterDone < last || e.AfterDone < 1 || e.AfterDone > 200 {
+			t.Fatalf("event out of order or range: %+v after %d", e, last)
+		}
+		last = e.AfterDone
+		if e.Frame < 0 || e.Frame >= 12 || e.Word < 0 || e.Word >= 28 || e.Bit > 31 {
+			t.Fatalf("event outside fault space: %+v", e)
+		}
+	}
+	if zero := Generate("z", 42, 200, 0, slots); len(zero.Events) != 0 {
+		t.Fatalf("rate 0 drew %d events", len(zero.Events))
+	}
+}
+
+// TestBurstClustersInMiddleThird: every burst event lands in the middle
+// third of the workload, at roughly the uniform scenario's total volume.
+func TestBurstClustersInMiddleThird(t *testing.T) {
+	const n = 300
+	sc := Burst("b", 7, n, 0.15, testSlots())
+	if len(sc.Events) == 0 {
+		t.Fatal("burst drew no events")
+	}
+	for _, e := range sc.Events {
+		if e.AfterDone <= n/3 || e.AfterDone > 2*n/3 {
+			t.Fatalf("burst event outside middle third: %+v", e)
+		}
+	}
+}
+
+// TestCampaignPresets: sweep yields one scenario per rate, covering rate
+// zero; unknown presets are rejected.
+func TestCampaignPresets(t *testing.T) {
+	slots := testSlots()
+	sweep, err := Campaign("sweep", 7, 100, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != len(Rates) {
+		t.Fatalf("sweep produced %d scenarios, want %d", len(sweep), len(Rates))
+	}
+	for i, sc := range sweep {
+		if sc.Rate != Rates[i] || !strings.HasPrefix(sc.Name, "rate-") {
+			t.Fatalf("sweep scenario %d = %q rate %g, want rate-%g", i, sc.Name, sc.Rate, Rates[i])
+		}
+	}
+	if len(sweep[0].Events) != 0 {
+		t.Fatal("rate-0 sweep scenario has events")
+	}
+	for _, preset := range []string{"uniform", "burst"} {
+		scs, err := Campaign(preset, 7, 100, slots)
+		if err != nil || len(scs) != 1 {
+			t.Fatalf("Campaign(%q) = %d scenarios, %v", preset, len(scs), err)
+		}
+	}
+	if _, err := Campaign("meteor", 7, 100, slots); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+// TestWriteReadRoundTrip: the JSONL artifact reproduces the scenarios
+// exactly, and a truncated artifact is rejected by the header count.
+func TestWriteReadRoundTrip(t *testing.T) {
+	slots := testSlots()
+	scs, err := Campaign("sweep", 11, 120, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, scs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scs, got) {
+		t.Fatalf("round trip mismatch:\nwrote %+v\nread  %+v", scs, got)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if _, err := Read(strings.NewReader(strings.Join(lines[:len(lines)-1], "\n"))); err == nil {
+		t.Fatal("truncated artifact accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"kind":"fault","after_done":1}`)); err == nil {
+		t.Fatal("fault line before any scenario header accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"kind":"meteor"}`)); err == nil {
+		t.Fatal("unknown record kind accepted")
+	}
+}
+
+// TestCursorFiresEachEventOnce: Due returns exactly the events at or
+// before the completion count, in order, and never re-fires them.
+func TestCursorFiresEachEventOnce(t *testing.T) {
+	sc := Scenario{Events: []Event{
+		{AfterDone: 2}, {AfterDone: 2}, {AfterDone: 5}, {AfterDone: 9},
+	}}
+	cur := sc.Cursor()
+	if got := cur.Due(1); len(got) != 0 {
+		t.Fatalf("Due(1) = %v", got)
+	}
+	if got := cur.Due(2); len(got) != 2 {
+		t.Fatalf("Due(2) fired %d events, want 2", len(got))
+	}
+	if got := cur.Due(2); len(got) != 0 {
+		t.Fatalf("Due(2) re-fired: %v", got)
+	}
+	if got := cur.Due(100); len(got) != 2 {
+		t.Fatalf("Due(100) fired %d events, want the remaining 2", len(got))
+	}
+	if got := cur.Due(100); len(got) != 0 {
+		t.Fatalf("cursor not exhausted: %v", got)
+	}
+}
+
+// TestPoolSlotsAndApply: slots enumerate every (member, region) with a
+// real fault space, Apply lands an injection, and out-of-range events
+// are refused without touching the pool.
+func TestPoolSlotsAndApply(t *testing.T) {
+	p, err := pool.New(pool.Config{Sys64: 2, Regions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := PoolSlots(p)
+	if len(slots) != 4 {
+		t.Fatalf("got %d slots, want 4", len(slots))
+	}
+	for _, s := range slots {
+		if s.Frames <= 0 || s.Words <= 0 {
+			t.Fatalf("slot %+v has empty fault space", s)
+		}
+	}
+	e := Event{Member: 1, Region: 1, Frame: 0, Word: 0, Bit: 3}
+	if err := Apply(p, e); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Members()[1].Sys.Status().FaultsInjected; got != 1 {
+		t.Fatalf("member 1 reports %d injections, want 1", got)
+	}
+	if err := Apply(p, Event{Member: 9}); err == nil {
+		t.Fatal("event for missing member accepted")
+	}
+	if err := Apply(p, Event{Member: 0, Region: 0, Frame: 1 << 20}); err == nil {
+		t.Fatal("out-of-band frame accepted")
+	}
+	if got := p.Members()[0].Sys.Status().FaultsInjected; got != 0 {
+		t.Fatalf("rejected injections counted on member 0: %d", got)
+	}
+}

@@ -97,20 +97,29 @@ type Status struct {
 	CompleteLoads uint64
 	DiffLoads     uint64
 	AbortedLoads  uint64
-	Corrupted     bool
+	// ScrubPasses counts readback scrubs across the regions; ScrubFaults
+	// the passes that detected corruption; FaultsInjected the bit-flips
+	// the fault campaign applied.
+	ScrubPasses    uint64
+	ScrubFaults    uint64
+	FaultsInjected uint64
+	Corrupted      bool
 }
 
 // RegionStatus is one region's slice of the system status.
 type RegionStatus struct {
-	Region        string
-	Resident      string
-	Loads         uint64
-	LoadTime      sim.Time
-	StreamedBytes uint64
-	CompleteLoads uint64
-	DiffLoads     uint64
-	AbortedLoads  uint64
-	Corrupted     bool
+	Region         string
+	Resident       string
+	Loads          uint64
+	LoadTime       sim.Time
+	StreamedBytes  uint64
+	CompleteLoads  uint64
+	DiffLoads      uint64
+	AbortedLoads   uint64
+	ScrubPasses    uint64
+	ScrubFaults    uint64
+	FaultsInjected uint64
+	Corrupted      bool
 }
 
 // Status reports the resident module and manager statistics under the
@@ -131,6 +140,10 @@ func (s *System) Status() Status {
 		st.CompleteLoads += complete
 		st.DiffLoads += diff
 		st.AbortedLoads += rs.mgr.AbortedLoads()
+		passes, faults := rs.mgr.ScrubStats()
+		st.ScrubPasses += passes
+		st.ScrubFaults += faults
+		st.FaultsInjected += rs.mgr.FaultsInjected()
 		st.Corrupted = st.Corrupted || rs.mgr.Corrupted()
 		if i == 0 {
 			if r, ok := rs.mgr.ResidentState(); ok {
@@ -155,16 +168,20 @@ func (s *System) RegionStatuses() []RegionStatus {
 		if !ok {
 			resident = ""
 		}
+		passes, faults := rs.mgr.ScrubStats()
 		out[i] = RegionStatus{
-			Region:        rs.area.R.Name,
-			Resident:      resident,
-			Loads:         loads,
-			LoadTime:      loadTime,
-			StreamedBytes: bytes,
-			CompleteLoads: complete,
-			DiffLoads:     diff,
-			AbortedLoads:  rs.mgr.AbortedLoads(),
-			Corrupted:     rs.mgr.Corrupted(),
+			Region:         rs.area.R.Name,
+			Resident:       resident,
+			Loads:          loads,
+			LoadTime:       loadTime,
+			StreamedBytes:  bytes,
+			CompleteLoads:  complete,
+			DiffLoads:      diff,
+			AbortedLoads:   rs.mgr.AbortedLoads(),
+			ScrubPasses:    passes,
+			ScrubFaults:    faults,
+			FaultsInjected: rs.mgr.FaultsInjected(),
+			Corrupted:      rs.mgr.Corrupted(),
 		}
 	}
 	return out

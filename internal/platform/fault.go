@@ -1,0 +1,54 @@
+package platform
+
+// Fault injection and readback scrubbing. A System models one board whose
+// configuration SRAM takes soft errors: InjectFaultOn flips a bit inside a
+// dynamic region's frame band, ScrubOn runs the region manager's
+// readback-CRC pass over its frame spans. Detection demotes the region's
+// resident state through the same §2.2 hazard gate an aborted speculative
+// stream uses, so recovery is safe by construction — the next load of the
+// region must stream a complete configuration, which rewrites every span
+// frame and heals the flip as a side effect.
+
+// ScrubReport is the outcome of one readback scrub of a dynamic region.
+type ScrubReport struct {
+	// Region names the scrubbed dynamic region.
+	Region string
+	// Detected reports a readback-CRC mismatch: the region's resident
+	// state has been demoted and its next load will stream complete.
+	Detected bool
+	// Module is the resident the region lost to the fault ("" when the
+	// region was blank) — what a repair reloads to return the slot to its
+	// pre-fault warmth.
+	Module string
+}
+
+// ScrubOn runs one readback-CRC scrub pass over the region's frame spans
+// under the system lock: a scrub racing an in-flight speculative stream
+// serializes behind it (and then sees either the verified post-stream
+// state or an already-demoted aborted one — never a half-written region).
+func (s *System) ScrubOn(ri int) ScrubReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rs := s.regions[ri]
+	detected, module := rs.mgr.Scrub()
+	return ScrubReport{Region: rs.area.R.Name, Detected: detected, Module: module}
+}
+
+// InjectFaultOn flips one configuration bit inside the region's row band:
+// frame indexes the region's span frames, word its band words, bit the bit
+// within the word. The flip mutates configuration memory directly (an SEU,
+// not a stream) and goes unnoticed until a scrub or rebind looks.
+func (s *System) InjectFaultOn(ri, frame, word int, bit uint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.regions[ri].mgr.InjectFault(frame, word, bit)
+}
+
+// FaultSpaceOn reports the injectable coordinate space of the region —
+// span frames by row-band words (of 32 bits each). Scenario generators
+// draw fault coordinates uniformly inside it.
+func (s *System) FaultSpaceOn(ri int) (frames, words int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.regions[ri].mgr.FaultSpace()
+}

@@ -1,0 +1,196 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/predict"
+	"repro/internal/tasks"
+)
+
+// TestScrubQuarantineRepairReturnsSlotToService drives the idle-slot fault
+// loop end to end: a fault injected into a warm slot is caught by a
+// ScrubAll pass, the slot is quarantined and repaired in the background
+// (reloading the module the fault evicted), and the next request for that
+// module finds the repaired slot warm again — a cache hit, as if the fault
+// never happened.
+func TestScrubQuarantineRepairReturnsSlotToService(t *testing.T) {
+	p := pool64x2(t, 1)
+	s := New(p, Options{})
+	r := <-s.Submit(tasks.JenkinsRun{Seed: 1, Len: 256, InitVal: 3})
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	quiesce(t, s)
+	if err := p.Members()[0].Sys.InjectFaultOn(r.Region, 0, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.ScrubAll(); n != 1 {
+		t.Fatalf("ScrubAll detected %d corrupted slots, want 1", n)
+	}
+	quiesce(t, s) // waits out the background repair (Drained covers quarantines)
+	st := s.Stats()
+	if st.FaultsDetected != 1 || st.Repairs != 1 {
+		t.Fatalf("detected %d / repaired %d, want 1 / 1", st.FaultsDetected, st.Repairs)
+	}
+	if st.RepairBytes == 0 || st.RepairConfig == 0 {
+		t.Fatalf("repair streamed %d B in %v, want a real complete reload", st.RepairBytes, st.RepairConfig)
+	}
+	if st.ScrubPasses < 2 {
+		t.Fatalf("scrub passes %d, want both slots scrubbed", st.ScrubPasses)
+	}
+	// The repair restored the evicted module: same request, zero streams.
+	r2 := <-s.Submit(tasks.JenkinsRun{Seed: 2, Len: 256, InitVal: 3})
+	if r2.Err != nil {
+		t.Fatal(r2.Err)
+	}
+	if !r2.Report.CacheHit || r2.Region != r.Region {
+		t.Fatalf("post-repair request got %+v on region %d, want cache hit on repaired region %d",
+			r2.Report, r2.Region, r.Region)
+	}
+	s.Wait()
+	for _, m := range p.Snapshot() {
+		if m.Corrupted {
+			t.Fatal("static design corrupted")
+		}
+	}
+}
+
+// TestFaultRequeueOnDispatchScrub pins the in-flight half of the loop:
+// with Options.Scrub the dispatch-time scrub catches a fault on the very
+// slot a request was placed on (a cache hit on the corrupted resident),
+// requeues the request, and dispatch serves it from a healthy slot while
+// the faulted one repairs in the background. The request completes
+// cleanly — the fault cost a requeue and a stream, never correctness.
+func TestFaultRequeueOnDispatchScrub(t *testing.T) {
+	p := pool64x2(t, 1)
+	s := New(p, Options{Scrub: true})
+	warm := <-s.Submit(tasks.JenkinsRun{Seed: 1, Len: 256, InitVal: 3})
+	if warm.Err != nil {
+		t.Fatal(warm.Err)
+	}
+	quiesce(t, s)
+	other := <-s.Submit(tasks.FadeRun{Seed: 2, N: 256, F: 9})
+	if other.Err != nil {
+		t.Fatal(other.Err)
+	}
+	quiesce(t, s)
+	if warm.Region == other.Region {
+		t.Fatalf("warmup landed both modules on region %d", warm.Region)
+	}
+	if err := p.Members()[0].Sys.InjectFaultOn(warm.Region, 1, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	// The jenkins request is dispatched to its (corrupted) resident slot;
+	// the dispatch scrub bounces it to the fade slot.
+	r := <-s.Submit(tasks.JenkinsRun{Seed: 3, Len: 256, InitVal: 3})
+	if r.Err != nil {
+		t.Fatalf("requeued request failed: %v", r.Err)
+	}
+	if r.Region != other.Region || r.Report.CacheHit {
+		t.Fatalf("requeued request ran on region %d (%+v), want a miss on healthy region %d",
+			r.Region, r.Report, other.Region)
+	}
+	quiesce(t, s)
+	st := s.Stats()
+	if st.Requeues != 1 || st.FaultsDetected != 1 || st.Repairs != 1 {
+		t.Fatalf("requeues %d / detected %d / repairs %d, want 1 / 1 / 1",
+			st.Requeues, st.FaultsDetected, st.Repairs)
+	}
+	if st.Done != 3 || st.Errors != 0 {
+		t.Fatalf("stats %+v, want 3 clean completions", st)
+	}
+	s.Wait()
+}
+
+// TestScrubRaceKeepsSpeculativeByteConservation is the scrub/abort
+// interaction audit alongside TestSpeculativeByteConservation, run with
+// -race: the learned three-module rotation keeps speculative streams
+// constantly in flight while a hammer goroutine scrubs every idle slot and
+// faults are injected along the way. A scrub firing around an abortable
+// speculative stream must neither double-demote the region nor break the
+// conservation law — every speculative byte still lands in exactly one of
+// consumed / wasted / pending, and every detection resolves in exactly one
+// repair.
+func TestScrubRaceKeepsSpeculativeByteConservation(t *testing.T) {
+	check := func(t *testing.T, st Stats, when string) {
+		t.Helper()
+		if st.PrefetchBytes != st.PrefetchConsumed+st.PrefetchWasted+st.PrefetchPending {
+			t.Fatalf("%s: speculative bytes unbalanced: streamed %d != consumed %d + wasted %d + pending %d",
+				when, st.PrefetchBytes, st.PrefetchConsumed, st.PrefetchWasted, st.PrefetchPending)
+		}
+	}
+	pred, err := predict.New("markov")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pool64x2(t, 1)
+	s := New(p, Options{Prefetch: true, Predictor: pred, Scrub: true})
+	mk := func(i int) tasks.Runner {
+		switch i % 3 {
+		case 0:
+			return tasks.JenkinsRun{Seed: int64(i), Len: 128, InitVal: 7}
+		case 1:
+			return tasks.FadeRun{Seed: int64(i), N: 256, F: 31}
+		}
+		return tasks.BrightnessRun{Seed: int64(i), N: 256, Delta: 11}
+	}
+	// The hammer scrubs whatever is idle, concurrently with dispatches,
+	// speculative streams and aborts. It naps between passes so the
+	// quiesce polls can still observe a fully drained instant.
+	done := make(chan struct{})
+	hammered := make(chan struct{})
+	go func() {
+		defer close(hammered)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				s.ScrubAll()
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+	}()
+	const rounds = 30
+	for i := 0; i < rounds; i++ {
+		quiesce(t, s)
+		if i%5 == 4 {
+			// Inject at a quiesced point and force a deterministic look:
+			// either this pass or the hammer's concurrent one detects it
+			// (the CRC16 catches every single-bit flip).
+			if err := p.Members()[0].Sys.InjectFaultOn(i/5%2, 0, i, 3); err != nil {
+				t.Fatal(err)
+			}
+			s.ScrubAll()
+			quiesce(t, s)
+		}
+		if r := <-s.Submit(mk(i)); r.Err != nil {
+			t.Fatalf("round %d: %v", i, r.Err)
+		}
+		check(t, s.Stats(), "round")
+	}
+	close(done)
+	<-hammered
+	s.Wait()
+	st := s.Stats()
+	check(t, st, "final")
+	if st.PrefetchIssued != st.PrefetchCompleted+st.PrefetchAborted {
+		t.Fatalf("speculative loads unresolved: issued %d, completed %d, aborted %d",
+			st.PrefetchIssued, st.PrefetchCompleted, st.PrefetchAborted)
+	}
+	if st.FaultsDetected != st.Repairs {
+		t.Fatalf("fault conservation broken: %d detected != %d repaired", st.FaultsDetected, st.Repairs)
+	}
+	if st.FaultsDetected == 0 {
+		t.Fatal("no injected fault was ever detected")
+	}
+	if st.Done != rounds || st.Errors != 0 {
+		t.Fatalf("stats %+v, want %d clean completions", st, rounds)
+	}
+	for _, m := range p.Snapshot() {
+		if m.Corrupted {
+			t.Fatal("static design corrupted")
+		}
+	}
+}

@@ -58,6 +58,11 @@ type Options struct {
 	// trained online from the arrival stream. nil with Prefetch enabled
 	// selects the default markov predictor.
 	Predictor predict.Predictor
+	// Scrub runs a readback-CRC scrub of the dispatched slot before each
+	// batch executes. A detection quarantines the slot, requeues the batch
+	// at the head of the queue, and launches a background repair; see
+	// ScrubAll for the idle-slot scrub loop.
+	Scrub bool
 }
 
 // Result is the outcome of one scheduled request.
@@ -153,6 +158,25 @@ type Stats struct {
 	// measure anywhere (waiting for a busy member is likewise uncounted).
 	HiddenConfig   sim.Time
 	PrefetchConfig sim.Time
+
+	// Fault/scrub accounting — all zero unless faults are injected and a
+	// scrub (Options.Scrub or ScrubAll) looks. Every detection quarantines
+	// its slot and every quarantine resolves in exactly one repair, so
+	// FaultsDetected == Repairs at every quiesced point — the fault
+	// counterpart of the speculative-byte conservation law. Requeues
+	// counts requests bounced off a corrupted slot back to the queue head;
+	// each is re-dispatched and completes (and is counted in Done) like
+	// any other request.
+	ScrubPasses    uint64 // readback scrub passes run by the scheduler
+	FaultsDetected uint64 // scrubs that caught a corrupted slot
+	Requeues       uint64 // requests requeued off quarantined slots
+	Repairs        uint64 // quarantined slots returned to service
+	RepairBytes    uint64 // bytes streamed by background repairs
+	// RepairConfig is the simulated configuration time of background
+	// repairs — off the request path, so not part of Config (a repair
+	// overlaps request service elsewhere in the pool; a request hitting
+	// the repaired slot later pays nothing, like a prefetch hit).
+	RepairConfig sim.Time
 }
 
 // HitRate returns the bitstream-cache hit fraction of executed requests
@@ -223,6 +247,15 @@ type slotState struct {
 	prefetched      string
 	prefetchedBytes int
 	prefetchedTime  sim.Time
+
+	// quarantined takes the slot out of service after a scrub detected
+	// corruption: never picked, never speculated into, until its
+	// background repair (runRepair) completes and clears it.
+	quarantined bool
+	// scrubbing marks a slot mid readback scrub (ScrubAll runs the pass
+	// outside the scheduler lock); treated like busy by pick, prefetch
+	// and Drained.
+	scrubbing bool
 }
 
 // residentView is the slot's resident module as the dispatcher sees it:
@@ -255,7 +288,7 @@ func (ss *slotState) supports(module string) bool {
 // speculating", so the pre-multi-region behaviour is unchanged.
 func (s *Scheduler) memberQuiet(m *pool.Member) bool {
 	for _, ss := range s.slots {
-		if ss.m == m && (ss.busy || ss.specBusy) {
+		if ss.m == m && (ss.busy || ss.specBusy || ss.quarantined || ss.scrubbing) {
 			return false
 		}
 	}
@@ -283,6 +316,8 @@ type Scheduler struct {
 	// the void after the last result is delivered.
 	specWG  sync.WaitGroup
 	stopped bool
+	// repairWG tracks background repair goroutines of quarantined slots.
+	repairWG sync.WaitGroup
 }
 
 // New returns a scheduler over the pool. The pool must not be driven by
@@ -392,6 +427,7 @@ func (s *Scheduler) Wait() {
 	}
 	s.mu.Unlock()
 	s.specWG.Wait()
+	s.repairWG.Wait()
 }
 
 // Drained reports whether the scheduler is fully settled: no pending
@@ -407,7 +443,7 @@ func (s *Scheduler) Drained() bool {
 		return false
 	}
 	for _, ss := range s.slots {
-		if ss.busy || ss.specBusy {
+		if ss.busy || ss.specBusy || ss.quarantined || ss.scrubbing {
 			return false
 		}
 	}
@@ -500,7 +536,7 @@ func (s *Scheduler) pickLocked() (int, int) {
 		var cands []Candidate
 		hit := -1
 		for si, ss := range s.slots {
-			if ss.busy || !ss.supports(mod) {
+			if ss.busy || ss.quarantined || ss.scrubbing || !ss.supports(mod) {
 				continue
 			}
 			// For a speculating slot the view is the in-flight target: a
@@ -767,6 +803,28 @@ func (s *Scheduler) runSpeculative(ss *slotState, mod string, tok *abortToken) {
 }
 
 func (s *Scheduler) runBatch(ss *slotState, si int, batch []*request) {
+	if s.opts.Scrub {
+		// Scrub-on-dispatch: verify the slot's region before trusting its
+		// resident. The pass takes the member's lock — a speculative
+		// stream in flight on this slot is serialized out first, and an
+		// aborted one reads as already-demoted, never as a fresh fault.
+		rep := ss.m.Sys.ScrubOn(ss.ri)
+		s.mu.Lock()
+		s.stats.ScrubPasses++
+		if rep.Detected {
+			// The batch never ran: bounce it back to the head of the queue
+			// in order, take the slot out of service, and let dispatch
+			// place the requests elsewhere (or wait out the repair).
+			s.stats.Requeues += uint64(len(batch))
+			s.pending = append(append([]*request(nil), batch...), s.pending...)
+			s.quarantineLocked(ss, rep.Module)
+			ss.busy = false
+			s.dispatchLocked()
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+	}
 	for _, req := range batch {
 		t := req.task
 		sys := ss.m.Sys
@@ -781,6 +839,91 @@ func (s *Scheduler) runBatch(ss *slotState, si int, batch []*request) {
 	ss.busy = false
 	s.dispatchLocked()
 	s.mu.Unlock()
+}
+
+// quarantineLocked takes a corruption-detected slot out of service and
+// launches its background repair. The scrub already demoted the region
+// through the §2.2 hazard gate, so the repair's reload streams a complete
+// configuration that overwrites every span frame — healing the flip is a
+// side effect of the same invariant that makes abort recovery safe.
+// Called with s.mu held.
+func (s *Scheduler) quarantineLocked(ss *slotState, module string) {
+	st := &s.stats
+	st.FaultsDetected++
+	ss.quarantined = true
+	ss.resident = ""
+	// A prefetched-but-unconsumed guess sat in the corrupted region: its
+	// bytes can never be consumed now, so they are waste — booked here,
+	// exactly once, keeping the speculative conservation law intact.
+	if ss.prefetched != "" {
+		st.PrefetchWasted += uint64(ss.prefetchedBytes)
+		ss.prefetched, ss.prefetchedBytes, ss.prefetchedTime = "", 0, 0
+	}
+	s.repairWG.Add(1)
+	go s.runRepair(ss, module)
+}
+
+// runRepair restores a quarantined slot off the request path: reload the
+// module the fault evicted (a complete stream, by the hazard gate), then
+// return the slot to service warm. A blank region needs no stream — its
+// next real load is complete by construction — so that repair is free.
+func (s *Scheduler) runRepair(ss *slotState, module string) {
+	defer s.repairWG.Done()
+	var rep platform.ConfigReport
+	var err error
+	if module != "" {
+		rep, err = ss.m.Sys.LoadModuleOn(ss.ri, module)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := &s.stats
+	st.Repairs++
+	st.RepairBytes += uint64(rep.Bytes)
+	st.RepairConfig += rep.Time
+	ss.quarantined = false
+	if module != "" && err == nil {
+		ss.resident = module
+	}
+	// Requests that queued up behind the quarantine can go out now.
+	s.dispatchLocked()
+}
+
+// ScrubAll runs one readback scrub pass over every idle slot — the
+// periodic scrub loop a deployment would drive from a timer. Busy,
+// speculating and quarantined slots are skipped (their members' locks are
+// not free to take, and a demoted region has nothing to scrub); each
+// detection quarantines the slot and launches its background repair.
+// Returns how many corrupted slots the pass caught.
+func (s *Scheduler) ScrubAll() int {
+	s.mu.Lock()
+	var targets []*slotState
+	for _, ss := range s.slots {
+		if ss.busy || ss.specBusy || ss.quarantined || ss.scrubbing || !s.memberQuiet(ss.m) {
+			continue
+		}
+		targets = append(targets, ss)
+	}
+	// Mark after selecting: scrubbing flags make the member non-quiet, and
+	// sibling regions of one quiet member should both be scrubbed this
+	// pass (the passes serialize briefly on the member's lock).
+	for _, ss := range targets {
+		ss.scrubbing = true
+	}
+	s.mu.Unlock()
+	detected := 0
+	for _, ss := range targets {
+		rep := ss.m.Sys.ScrubOn(ss.ri)
+		s.mu.Lock()
+		ss.scrubbing = false
+		s.stats.ScrubPasses++
+		if rep.Detected {
+			detected++
+			s.quarantineLocked(ss, rep.Module)
+		}
+		s.dispatchLocked()
+		s.mu.Unlock()
+	}
+	return detected
 }
 
 func (s *Scheduler) record(si int, res Result) (seq uint64) {
