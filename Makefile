@@ -1,4 +1,4 @@
-.PHONY: build test race vet fmt bench benchgate fuzz regionsmoke faultsmoke replay gobench sim sched
+.PHONY: build test race vet fmt bench benchgate fuzz regionsmoke faultsmoke compresssmoke replay gobench sim sched
 
 build:
 	go build ./...
@@ -20,18 +20,23 @@ fmt:
 # (complete-only vs planner-backed, lru vs mincost), the S3 prefetch
 # comparison (visible config time with and without speculative loads), the
 # S4 region-granularity comparison (single- vs dual-region boards at equal
-# total fabric) and the S7 fault sweep (availability under injected upsets
-# with scrubbing) on the seeded 60-request mixed workload, as tables on
-# stdout and BENCH_sched.json.
+# total fabric), the S7 fault sweep (availability under injected upsets
+# with scrubbing) and the S8 load-path comparison (complete vs diff vs
+# compressed vs compressed+DMA) on the seeded 60-request mixed workload,
+# as tables on stdout and BENCH_sched.json. Each refresh is also archived
+# under artifacts/bench keyed by the current commit, so the per-commit
+# perf trajectory survives baseline rewrites.
 bench:
 	go run ./cmd/fpgad -compare -json BENCH_sched.json -sys32 2 -sys64 2 -n 60 -seed 7 -batch 4 \
 		-mix "sha1=1,jenkins=2,patternmatch=1,brightness=2,blend=2,fade=2,transfer=1"
+	mkdir -p artifacts/bench
+	cp BENCH_sched.json artifacts/bench/BENCH_sched.$$(git rev-parse --short HEAD).json
 
 # CI bench-regression gate: rerun the comparison into a scratch file and
 # fail if visible config time or bytes streamed regress past tolerance
 # against the committed BENCH_sched.json on any configuration (15% on the
-# deterministic S3, S4 and S7 rows; the concurrency-noisy S2 rows carry a
-# wider per-record band). After an intended perf change, run `make bench`
+# deterministic S3, S4, S7 and S8 rows; the concurrency-noisy S2 rows carry
+# a wider per-record band). After an intended perf change, run `make bench`
 # and commit the refreshed baseline.
 benchgate:
 	go run ./cmd/fpgad -compare -json BENCH_fresh.json -sys32 2 -sys64 2 -n 60 -seed 7 -batch 4 \
@@ -40,10 +45,12 @@ benchgate:
 		rc=$$?; rm -f BENCH_fresh.json; exit $$rc
 
 # Fuzz smoke: the loader must reject damaged differential streams without
-# wedging (CRC or state-machine error, never silent misconfiguration), and
-# multi-region differentials must stay inside their region's frame spans.
+# wedging (CRC or state-machine error, never silent misconfiguration),
+# multi-region differentials must stay inside their region's frame spans,
+# and damaged compressed containers must never decode to divergent frames.
 fuzz:
 	go test -run '^$$' -fuzz FuzzLoaderDifferentialStream -fuzztime 10s ./internal/bitstream
+	go test -run '^$$' -fuzz FuzzCompressedStream -fuzztime 10s ./internal/bitstream
 	go test -run '^$$' -fuzz FuzzRegionPlanner -fuzztime 10s ./internal/plan
 
 # Multi-region smoke: the per-region hazard gate, sibling-region hits and
@@ -55,6 +62,12 @@ regionsmoke:
 # scrub/abort interaction, under the race detector.
 faultsmoke:
 	go test -run 'Fault|Scrub' -race ./...
+
+# Compression/DMA smoke: the compressed codec round trip, the planner's
+# fourth stream kind, decode-side hazard gating and sibling-region DMA
+# overlap, under the race detector.
+compresssmoke:
+	go test -run 'Compress|DMA' -race ./...
 
 # Fault replay: generate the seeded S7 upset campaign as a JSONL artifact,
 # then replay it against the scheduled pool and write the availability

@@ -28,7 +28,8 @@ import (
 // match themselves. A baseline record may carry its own tolerance band
 // (tolerance_pct) when its configuration is inherently noisy — the
 // SubmitAll S2 rows react to goroutine completion order — overriding the
-// gate's default; the deterministic S3 rows omit it and gate tight.
+// gate's default; the deterministic S3/S4/S7 rows and the paired-drive S8
+// load-path rows gate at the 15% band.
 type record struct {
 	Table         string  `json:"table"`
 	Label         string  `json:"label"`

@@ -16,7 +16,7 @@
 //	fpgad -regions 2                             # two dynamic regions per member
 //	fpgad -regions 2 floorplan                   # print the pool's floorplans and exit
 //	fpgad -arrivals                              # open-loop S5 latency percentiles
-//	fpgad -compare -json BENCH_sched.json        # S2 + S3 + S4 + S7 comparisons
+//	fpgad -compare -json BENCH_sched.json        # S2 + S3 + S4 + S7 + S8 comparisons
 package main
 
 import (
@@ -60,7 +60,7 @@ func run(args []string, out, errw io.Writer) int {
 	arrivals := fs.Bool("arrivals", false,
 		"also replay the measured service trace under open-loop Poisson/bursty arrivals (table S5)")
 	compare := fs.Bool("compare", false,
-		"run the S2 placement, S3 prefetch, S4 region and S7 fault comparisons instead of a single run")
+		"run the S2 placement, S3 prefetch, S4 region, S7 fault and S8 compression comparisons instead of a single run")
 	jsonPath := fs.String("json", "", "write machine-readable per-configuration records to this file")
 	verbose := fs.Bool("v", false, "log every request")
 	if err := fs.Parse(args); err != nil {
@@ -238,8 +238,9 @@ func run(args []string, out, errw io.Writer) int {
 
 // runCompare drives the same seeded workload under each placement
 // configuration (table S2), each prefetch configuration (table S3), each
-// region granularity (table S4) and each fault-injection rate (table S7),
-// optionally emitting the combined JSON records the CI bench gate diffs.
+// region granularity (table S4), each fault-injection rate (table S7) and
+// each configuration load path (table S8), optionally emitting the
+// combined JSON records the CI bench gate diffs.
 func runCompare(spec bench.PlacementSpec, jsonPath string, out, errw io.Writer) int {
 	fmt.Fprintf(out, "comparing configurations on the same workload: pool %d+%d, %d request(s), mix %s, batch %d, seed %d\n\n",
 		spec.Pool.Sys32, spec.Pool.Sys64, spec.N, spec.Mix, spec.Batch, spec.Seed)
@@ -272,10 +273,19 @@ func runCompare(spec bench.PlacementSpec, jsonPath string, out, errw io.Writer) 
 		return 1
 	}
 	bench.FaultTable(fruns).Format(out)
+	cspec := bench.DefaultCompressSpec()
+	cspec.Seed, cspec.N, cspec.Mix, cspec.Batch = spec.Seed, spec.N, spec.Mix, spec.Batch
+	cruns, err := bench.CompressRuns(cspec)
+	if err != nil {
+		fmt.Fprintln(errw, "fpgad:", err)
+		return 1
+	}
+	bench.CompressTable(cruns).Format(out)
 	if jsonPath != "" {
 		recs := append(bench.PlacementRecords(runs), bench.PrefetchRecords(pruns)...)
 		recs = append(recs, bench.RegionRecords(rruns)...)
 		recs = append(recs, bench.FaultRecords(fruns)...)
+		recs = append(recs, bench.CompressRecords(cruns)...)
 		if err := writeRecords(jsonPath, recs); err != nil {
 			fmt.Fprintln(errw, "fpgad:", err)
 			return 1

@@ -161,6 +161,11 @@ type PlacementRecord struct {
 	PrefetchWastedBytes uint64  `json:"prefetch_wasted_bytes,omitempty"`
 	HiddenMs            float64 `json:"hidden_ms,omitempty"`
 
+	// S8 compressed/DMA load-path fields; zero for the other tables.
+	CompressedLoads uint64  `json:"compressed_loads,omitempty"`
+	DMALoads        uint64  `json:"dma_loads,omitempty"`
+	OverlapMs       float64 `json:"overlap_ms,omitempty"`
+
 	// S7 fault-replay fields; zero for the other tables.
 	FaultsInjected uint64  `json:"faults_injected,omitempty"`
 	FaultsDetected uint64  `json:"faults_detected,omitempty"`

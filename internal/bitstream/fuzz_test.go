@@ -91,6 +91,59 @@ func FuzzLoaderDifferentialStream(f *testing.F) {
 	})
 }
 
+// FuzzCompressedStream feeds arbitrary byte mutations of a compressed
+// container into the decoder. Whatever the input: no panic, the first
+// decode error is sticky, and a decode that completes with every check
+// green (container CRC, decoder done, loader done and error-free) must
+// have reproduced the original stream words exactly — silent decode
+// divergence is the failure mode that must not exist; damage is only
+// ever rejected loudly, by the container CRC or the stream's own. A
+// pristine container must still decode cleanly afterwards.
+func FuzzCompressedStream(f *testing.F) {
+	dev, s, assumed, frames, _ := compressFixture(f, 31)
+	c, err := Compress(dev, s, assumed, len(frames))
+	if err != nil {
+		f.Fatal(err)
+	}
+	enc := encodeWords(c.Words)
+	f.Add(enc)
+	f.Add(enc[:len(enc)/2]) // truncated mid-container
+	f.Add(enc[:4*2])        // truncated inside the header
+	flipped := append([]byte(nil), enc...)
+	flipped[len(flipped)/3] ^= 0x04 // bit flip inside an op payload
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(NewLoader(assumed.Clone()))
+		for i := 0; i+4 <= len(data); i += 4 {
+			if _, err := d.WriteWord(binary.BigEndian.Uint32(data[i:])); err != nil {
+				break
+			}
+		}
+		if d.Err() != nil {
+			// The first error must be sticky: the decoder refuses further
+			// container words instead of resynchronizing on garbage.
+			if _, err := d.WriteWord(CompressedMagic); err == nil {
+				t.Fatal("decoder accepted words after a decode error")
+			}
+		}
+		if d.Done() && d.l.Done() && d.l.Err() == nil {
+			if !wordsEqual(d.out, s.Words) {
+				t.Fatalf("silent divergent decode: %d words out, %d in original", len(d.out), len(s.Words))
+			}
+		}
+		// A fresh decoder must still take the pristine container in full.
+		d2 := NewDecoder(NewLoader(assumed.Clone()))
+		for _, w := range c.Words {
+			if _, err := d2.WriteWord(w); err != nil {
+				t.Fatalf("pristine container rejected after fuzzed input: %v", err)
+			}
+		}
+		if !d2.Done() || !d2.l.Done() {
+			t.Fatal("pristine container did not complete after fuzzed input")
+		}
+	})
+}
+
 // TestTruncatedDifferentialNeverCompletes cuts the stream at every word
 // boundary up to the DESYNC command: no truncation may be reported as a
 // completed configuration, and none may panic.

@@ -44,6 +44,10 @@ type Config struct {
 	// CPU drives the HWICAP; ICAPBase is its bus address.
 	CPU      *cpu.CPU
 	ICAPBase uint32
+	// ICAP is the HWICAP slave itself. The CPU path reaches it through the
+	// bus at ICAPBase; the direct reference is needed to arm the
+	// compressed-stream decoder front-end. nil disables compressed loads.
+	ICAP *icap.HWICAP
 	// Bind attaches a behavioural core to the dock.
 	Bind func(hw.Core)
 	// Kernel provides timing for configuration statistics.
@@ -127,14 +131,22 @@ type Manager struct {
 	// so planning and repeated loads never re-run AssembleDifferential.
 	diffs          map[diffKey]*bitlinker.Result
 	diffAssemblies uint64
+	// zdiffs and zfulls cache compressed containers: per transition for
+	// differential-based ones, per module for complete-based (RLE-only)
+	// ones. The encoder reuses the memoized differential's stream, so a
+	// compressed size query costs one encode per pair, ever.
+	zdiffs map[diffKey]*bitstream.Compressed
+	zfulls map[string]*bitstream.Compressed
 
-	loadCount     uint64
-	loadTime      sim.Time
-	bytesStreamed uint64
-	diffLoads     uint64
-	completeLoads uint64
-	abortedLoads  uint64
-	corrupted     bool
+	loadCount       uint64
+	loadTime        sim.Time
+	bytesStreamed   uint64
+	diffLoads       uint64
+	completeLoads   uint64
+	compressedLoads uint64
+	dmaLoads        uint64
+	abortedLoads    uint64
+	corrupted       bool
 
 	// spans are the region's frame-index intervals — the readback window
 	// of the scrub pass and the injectable surface of the fault campaign.
@@ -175,6 +187,8 @@ func NewManager(cfg Config) (*Manager, error) {
 		staticHash:   cfg.Baseline.StaticHash(cfg.AllRegions...),
 		baselineHash: cfg.Baseline.RegionHash(cfg.Region),
 		diffs:        make(map[diffKey]*bitlinker.Result),
+		zdiffs:       make(map[diffKey]*bitstream.Compressed),
+		zfulls:       make(map[string]*bitstream.Compressed),
 		residentOK:   true, // the initial full configuration leaves the region blank
 	}
 	m.lastHash = m.baselineHash
@@ -253,6 +267,13 @@ func (m *Manager) LoadKinds() (complete, differential uint64) {
 	return m.completeLoads, m.diffLoads
 }
 
+// CompressedLoads reports how many loads streamed a compressed container.
+func (m *Manager) CompressedLoads() uint64 { return m.compressedLoads }
+
+// DMALoads reports how many loads went through a dock DMA engine instead of
+// CPU stores.
+func (m *Manager) DMALoads() uint64 { return m.dmaLoads }
+
 // AbortedLoads reports how many loads were stopped at a stream boundary
 // before completing (speculative streams preempted by a real request).
 func (m *Manager) AbortedLoads() uint64 { return m.abortedLoads }
@@ -292,25 +313,101 @@ func (m *Manager) DifferentialSize(from, to string) (int, int, error) {
 	return res.Stream.SizeBytes(), res.Frames, nil
 }
 
+// CompressedSize implements plan.Source: wire bytes, decoded bytes and
+// frame count of the compressed container for the (from → to) transition.
+// The container is encoded from the memoized differential and itself
+// memoized, so sizing shares the cache with the load path.
+func (m *Manager) CompressedSize(from, to string) (int, int, int, error) {
+	z, err := m.compressedDiff(from, to)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return z.SizeBytes(), z.RawBytes(), z.Frames, nil
+}
+
+// CompleteCompressedSize implements plan.Source: sizes of the RLE-only
+// container encoding the module's complete stream. No configuration-memory
+// references, so it is as state-independent as the complete stream.
+func (m *Manager) CompleteCompressedSize(name string) (int, int, int, error) {
+	z, err := m.compressedFull(name)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return z.SizeBytes(), z.RawBytes(), z.Frames, nil
+}
+
+// compressedDiff returns the cached compressed container for the
+// transition, encoding it at most once per (from, to) pair. The encoder
+// diffs against the same assumed image the differential was built from, so
+// its configuration-memory KEEP references are valid exactly when the
+// differential itself is — under the §2.2 residency gate.
+func (m *Manager) compressedDiff(from, to string) (*bitstream.Compressed, error) {
+	key := diffKey{from: from, to: to}
+	if z, ok := m.zdiffs[key]; ok {
+		return z, nil
+	}
+	res, err := m.differential(from, to)
+	if err != nil {
+		return nil, err
+	}
+	base, err := m.assumedImage(from)
+	if err != nil {
+		return nil, err
+	}
+	z, err := bitstream.Compress(m.cfg.Device, res.Stream, base, res.Frames)
+	if err != nil {
+		return nil, err
+	}
+	m.zdiffs[key] = z
+	return z, nil
+}
+
+// compressedFull returns the cached RLE-only container for the module's
+// complete stream.
+func (m *Manager) compressedFull(name string) (*bitstream.Compressed, error) {
+	if z, ok := m.zfulls[name]; ok {
+		return z, nil
+	}
+	e, ok := m.modules[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown module %s", name)
+	}
+	z, err := bitstream.Compress(m.cfg.Device, e.assembled.Stream, nil, e.assembled.Frames)
+	if err != nil {
+		return nil, err
+	}
+	m.zfulls[name] = z
+	return z, nil
+}
+
+// assumedImage resolves a from-state name to its configuration image: the
+// blank baseline for "", the module's post-load target otherwise.
+func (m *Manager) assumedImage(from string) (*fabric.ConfigMemory, error) {
+	if from == "" {
+		return m.cfg.Baseline, nil
+	}
+	ae, ok := m.modules[from]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown assumed module %s", from)
+	}
+	return ae.target, nil
+}
+
 // differential returns the cached differential configuration for the
 // transition, assembling it at most once per (from, to) pair.
 func (m *Manager) differential(from, to string) (*bitlinker.Result, error) {
-	e, ok := m.modules[to]
-	if !ok {
+	if _, ok := m.modules[to]; !ok {
 		return nil, fmt.Errorf("core: unknown module %s", to)
 	}
-	base := m.cfg.Baseline
-	if from != "" {
-		ae, ok := m.modules[from]
-		if !ok {
-			return nil, fmt.Errorf("core: unknown assumed module %s", from)
-		}
-		base = ae.target
+	base, err := m.assumedImage(from)
+	if err != nil {
+		return nil, err
 	}
 	key := diffKey{from: from, to: to}
 	if res, ok := m.diffs[key]; ok {
 		return res, nil
 	}
+	e := m.modules[to]
 	placed := bitlinker.Placed{C: e.comp, ColOff: m.cfg.Region.W - e.comp.W}
 	m.diffAssemblies++
 	res, err := m.cfg.Assembler.AssembleDifferential(base, placed)
@@ -398,8 +495,130 @@ func (m *Manager) LoadPlannedAbortable(p plan.Plan, stop func() bool) (elapsed s
 		return m.streamAbortable(res.Stream, true, stop)
 	case plan.StreamComplete:
 		return m.streamAbortable(e.assembled.Stream, false, stop)
+	case plan.StreamCompressed:
+		z, err := m.planContainer(p, resident, authoritative)
+		if err != nil {
+			return 0, 0, err
+		}
+		return m.streamCompressedAbortable(z, stop)
 	}
 	return 0, 0, fmt.Errorf("core: unknown stream kind %v", p.Kind)
+}
+
+// planContainer resolves a compressed plan to its container, enforcing the
+// §2.2 gate for differential-based ones. Complete-based containers carry no
+// configuration-memory references and need no gate.
+func (m *Manager) planContainer(p plan.Plan, resident string, authoritative bool) (*bitstream.Compressed, error) {
+	switch p.Base {
+	case plan.StreamDifferential:
+		if !authoritative || resident != p.From {
+			return nil, fmt.Errorf("core: stale plan: compressed differential %q -> %s but resident state is %q (authoritative=%v)",
+				p.From, p.Module, resident, authoritative)
+		}
+		return m.compressedDiff(p.From, p.Module)
+	case plan.StreamComplete:
+		return m.compressedFull(p.Module)
+	}
+	return nil, fmt.Errorf("core: compressed plan with base %v", p.Base)
+}
+
+// PendingLoad is one in-flight DMA load. The stream content is already
+// applied (the configuration sequence is atomic at Begin); what is pending
+// is the settlement of the engine's port window against the member's
+// timeline, done by FinishLoad when the requester needs the result.
+type PendingLoad struct {
+	Plan        plan.Plan
+	start, done sim.Time
+	bytes       int
+	none        bool
+}
+
+// Bytes reports the wire bytes the transfer moved.
+func (pl *PendingLoad) Bytes() int { return pl.bytes }
+
+// BeginPlanned starts a plan's stream on a dock DMA engine. The same §2.2
+// gates as LoadPlannedAbortable apply — a differential-based stream (plain
+// or compressed) is refused unless the plan's assumed from-state still
+// matches the authoritative resident state. The returned PendingLoad's port
+// window overlaps sibling engines' windows and CPU work; call FinishLoad
+// before using the loaded module. A configuration error is returned
+// immediately (the engine resets the loader) and demotes the resident
+// state, exactly like a CPU-path failure.
+func (m *Manager) BeginPlanned(p plan.Plan, eng *icap.DMA) (*PendingLoad, error) {
+	e, ok := m.modules[p.Module]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown module %s", p.Module)
+	}
+	resident, authoritative := m.ResidentState()
+	var words []uint32
+	compressed := false
+	switch p.Kind {
+	case plan.StreamNone:
+		if !authoritative || resident != p.Module {
+			return nil, fmt.Errorf("core: stale plan: no-op for %s but resident state is %q (authoritative=%v)",
+				p.Module, resident, authoritative)
+		}
+		return &PendingLoad{Plan: p, none: true}, nil
+	case plan.StreamDifferential:
+		if !authoritative || resident != p.From {
+			return nil, fmt.Errorf("core: stale plan: differential %q -> %s but resident state is %q (authoritative=%v)",
+				p.From, p.Module, resident, authoritative)
+		}
+		res, err := m.differential(p.From, p.Module)
+		if err != nil {
+			return nil, err
+		}
+		words = res.Stream.Words
+	case plan.StreamComplete:
+		words = e.assembled.Stream.Words
+	case plan.StreamCompressed:
+		z, err := m.planContainer(p, resident, authoritative)
+		if err != nil {
+			return nil, err
+		}
+		words, compressed = z.Words, true
+	default:
+		return nil, fmt.Errorf("core: unknown stream kind %v", p.Kind)
+	}
+	start, done, err := eng.Begin(words, compressed)
+	m.loadCount++
+	m.dmaLoads++
+	m.loadTime += done - start
+	m.bytesStreamed += uint64(4 * len(words))
+	switch {
+	case compressed:
+		m.compressedLoads++
+	case p.Kind == plan.StreamDifferential:
+		m.diffLoads++
+	default:
+		m.completeLoads++
+	}
+	if err != nil {
+		m.residentOK = false
+		return nil, fmt.Errorf("core: dma load of %s: %w", p.Module, err)
+	}
+	return &PendingLoad{Plan: p, start: start, done: done, bytes: 4 * len(words)}, nil
+}
+
+// FinishLoad settles a pending DMA load against the member's timeline: it
+// advances simulated time to the end of the engine's port window and
+// reports the split between visible configuration time (what the requester
+// actually waited) and hidden time (the part of the window that overlapped
+// dispatch, work or sibling loads).
+func (m *Manager) FinishLoad(pl *PendingLoad) (visible, hidden sim.Time) {
+	if pl == nil || pl.none {
+		return 0, 0
+	}
+	now := m.cfg.Kernel.Now()
+	if pl.done > now {
+		visible = pl.done - now
+		m.cfg.Kernel.AdvanceTo(pl.done)
+	}
+	hidden = (pl.done - pl.start) - visible
+	if hidden < 0 {
+		hidden = 0
+	}
+	return visible, hidden
 }
 
 // LoadNaive streams a naively assembled configuration (zeros outside the
@@ -481,6 +700,60 @@ func (m *Manager) streamAbortable(s *bitstream.Stream, differential bool, stop f
 		return elapsed, s.SizeBytes(), fmt.Errorf("core: configuration error reported by HWICAP")
 	}
 	return elapsed, s.SizeBytes(), nil
+}
+
+// streamCompressedAbortable pushes a compressed container through the
+// HWICAP with the decoder front-end armed, polling stop at the same
+// 256-word FIFO-write boundaries as an uncompressed stream — an abort
+// resets the configuration logic (which also disarms the decoder), so the
+// abort-demote semantics are unchanged. Wire bytes are what software
+// streamed and what the byte counters book; the port time is bound by the
+// decoded words, which the armed HWICAP charges per expansion.
+func (m *Manager) streamCompressedAbortable(z *bitstream.Compressed, stop func() bool) (sim.Time, int, error) {
+	if m.cfg.ICAP == nil {
+		return 0, 0, fmt.Errorf("core: compressed load without an HWICAP decoder front-end")
+	}
+	c := m.cfg.CPU
+	start := m.cfg.Kernel.Now()
+	m.cfg.ICAP.ArmDecoder()
+	for i, w := range z.Words {
+		if stop != nil && i > 0 && i%abortCheckWords == 0 && stop() {
+			c.SW(m.cfg.ICAPBase+icap.RegControl, icap.CtrlReset)
+			c.Sync()
+			elapsed := m.cfg.Kernel.Now() - start
+			m.loadCount++
+			m.abortedLoads++
+			m.loadTime += elapsed
+			m.bytesStreamed += uint64(4 * i)
+			m.residentOK = false
+			return elapsed, 4 * i, ErrAborted
+		}
+		c.SW(m.cfg.ICAPBase+icap.RegWriteFIFO, w)
+	}
+	c.Sync()
+	var status uint32
+	err := c.Spin(32, func() bool {
+		status = c.LW(m.cfg.ICAPBase + icap.RegStatus)
+		return status&(icap.StatDone|icap.StatError) != 0 && status&icap.StatBusy == 0
+	})
+	derr := m.cfg.ICAP.DisarmDecoder()
+	elapsed := m.cfg.Kernel.Now() - start
+	m.loadCount++
+	m.loadTime += elapsed
+	m.bytesStreamed += uint64(z.SizeBytes())
+	m.compressedLoads++
+	if err == nil && derr != nil {
+		err = fmt.Errorf("core: compressed stream: %w", derr)
+	}
+	if err != nil {
+		m.residentOK = false
+		return elapsed, z.SizeBytes(), err
+	}
+	if status&icap.StatError != 0 {
+		m.residentOK = false
+		return elapsed, z.SizeBytes(), fmt.Errorf("core: configuration error reported by HWICAP")
+	}
+	return elapsed, z.SizeBytes(), nil
 }
 
 // rebind runs after every completed configuration sequence: it hashes the

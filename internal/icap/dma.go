@@ -1,0 +1,105 @@
+package icap
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/sim"
+)
+
+// dmaSetupCycles is the fixed descriptor-setup cost of one DMA transfer
+// (fetching the descriptor and programming the engine).
+const dmaSetupCycles = 32
+
+// DMA is one region dock's configuration DMA engine: it master-reads a
+// prepared stream from memory and feeds the configuration port without CPU
+// stores, so sibling regions' loads on one member overlap in simulated time
+// — each engine occupies its own port window while the CPU goes on
+// dispatching.
+//
+// The engine's transfer model is deliberately simple and race-free: the
+// stream CONTENT is applied to the configuration logic atomically when the
+// transfer begins (the configuration sequence is indivisible — there is no
+// observable intermediate state between Begin and the transfer's end), and
+// only the TIME window [start, done) is what overlaps with sibling engines
+// and CPU work. Begin returns that window; the caller settles it with the
+// member's timeline when the result is needed.
+//
+// Unlike the CPU path, a DMA transfer of a compressed container is bound by
+// the WIRE words: the in-engine decompressor performs masked frame writes,
+// so KEEP words never transit the port. That makes compressed+DMA the fast
+// path the S8 table measures.
+type DMA struct {
+	k      *sim.Kernel
+	clk    *sim.Clock
+	loader *bitstream.Loader
+
+	busyUntil sim.Time
+	transfers uint64
+	words     uint64
+}
+
+// NewDMA returns a DMA engine feeding the device's configuration logic.
+func NewDMA(k *sim.Kernel, clk *sim.Clock, loader *bitstream.Loader) *DMA {
+	return &DMA{k: k, clk: clk, loader: loader}
+}
+
+// Stats reports completed transfers and wire words moved.
+func (d *DMA) Stats() (transfers, words uint64) { return d.transfers, d.words }
+
+// BusyUntil reports when the engine's current window ends (its own port is
+// idle from then on).
+func (d *DMA) BusyUntil() sim.Time { return d.busyUntil }
+
+// Begin starts one transfer: the stream content is applied to the
+// configuration logic now, and the engine's port window [start, done) is
+// returned. start is the later of now and the end of the engine's previous
+// window; done adds the descriptor setup and the per-wire-word drain. On a
+// configuration error the loader is reset (the engine aborts the transfer
+// cleanly) and the window still stands — the port was occupied until the
+// error was raised.
+func (d *DMA) Begin(words []uint32, compressed bool) (start, done sim.Time, err error) {
+	start = d.k.Now()
+	if d.busyUntil > start {
+		start = d.busyUntil
+	}
+	done = start + d.clk.Cycles(uint64(dmaSetupCycles+4*len(words)))
+	d.busyUntil = done
+	d.transfers++
+	d.words += uint64(len(words))
+	if err := d.feed(words, compressed); err != nil {
+		d.loader.Reset()
+		return start, done, err
+	}
+	return start, done, nil
+}
+
+func (d *DMA) feed(words []uint32, compressed bool) error {
+	if compressed {
+		dec := bitstream.NewDecoder(d.loader)
+		for _, w := range words {
+			if _, err := dec.WriteWord(w); err != nil {
+				return err
+			}
+			if err := d.loader.Err(); err != nil {
+				return err
+			}
+		}
+		if !dec.Done() {
+			return fmt.Errorf("icap: dma: compressed container incomplete (%d words decoded)", dec.Emitted())
+		}
+	} else {
+		for _, w := range words {
+			if err := d.loader.WriteWord(w); err != nil {
+				return err
+			}
+		}
+	}
+	if err := d.loader.Err(); err != nil {
+		return err
+	}
+	if !d.loader.Done() {
+		return fmt.Errorf("icap: dma: configuration sequence did not complete")
+	}
+	return nil
+}

@@ -6,6 +6,8 @@
 package icap
 
 import (
+	"fmt"
+
 	"repro/internal/bitstream"
 	"repro/internal/sim"
 )
@@ -39,6 +41,15 @@ type HWICAP struct {
 	// bytesPerCycle bytes per ICAP cycle.
 	bufWords int
 
+	// dec, when armed, sits between the write FIFO and the configuration
+	// logic: software pushes compressed container words and the decoder
+	// expands them in flight. The drain time is charged per DECODED word —
+	// the byte-wide configuration port consumes every expanded word at the
+	// same 4 cycles/word, so compression shrinks the wire traffic, not the
+	// CPU-path port time.
+	dec    *bitstream.Decoder
+	decErr error
+
 	busyUntil sim.Time
 	words     uint64
 	stalls    uint64
@@ -58,6 +69,36 @@ func (h *HWICAP) Loader() *bitstream.Loader { return h.loader }
 // WordsWritten reports how many stream words software pushed.
 func (h *HWICAP) WordsWritten() uint64 { return h.words }
 
+// ArmDecoder inserts a fresh compressed-stream decoder in front of the
+// configuration logic. Subsequent FIFO writes are container words.
+func (h *HWICAP) ArmDecoder() {
+	h.dec = bitstream.NewDecoder(h.loader)
+	h.decErr = nil
+}
+
+// DisarmDecoder removes the decoder and reports whether the container
+// decoded completely and cleanly. Decode errors are also visible in the
+// status register while the decoder is armed.
+func (h *HWICAP) DisarmDecoder() error {
+	d := h.dec
+	h.dec = nil
+	err := h.decErr
+	h.decErr = nil
+	if err != nil {
+		return err
+	}
+	if d == nil {
+		return nil
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if !d.Done() {
+		return fmt.Errorf("icap: compressed container incomplete (%d words decoded)", d.Emitted())
+	}
+	return nil
+}
+
 // Read implements bus.Slave.
 func (h *HWICAP) Read(addr uint32, size int) (uint64, int) {
 	switch addr {
@@ -66,7 +107,7 @@ func (h *HWICAP) Read(addr uint32, size int) (uint64, int) {
 		if h.loader.Done() {
 			s |= StatDone
 		}
-		if h.loader.Err() != nil {
+		if h.loader.Err() != nil || h.decErr != nil {
 			s |= StatError
 		}
 		if h.k.Now() < h.busyUntil {
@@ -90,20 +131,33 @@ func (h *HWICAP) Write(addr uint32, val uint64, size int) int {
 		if h.busyUntil < now {
 			h.busyUntil = now
 		}
-		h.busyUntil += drain
+		// The configuration logic consumes the word; errors are reported
+		// via the status register, as on hardware. With the decoder armed
+		// the port drains one slot per DECODED word the container word
+		// expanded into.
+		consumed := 1
+		if h.dec != nil {
+			n, err := h.dec.WriteWord(uint32(val))
+			if err != nil && h.decErr == nil {
+				h.decErr = err
+			}
+			consumed = n
+		} else {
+			_ = h.loader.WriteWord(uint32(val))
+		}
+		h.busyUntil += sim.Time(consumed) * drain
 		waits := 1
 		if backlog := h.busyUntil - now; backlog > sim.Time(h.bufWords)*drain {
 			extra := int(h.clk.CyclesIn(backlog - sim.Time(h.bufWords)*drain))
 			waits += extra
 			h.stalls++
 		}
-		// The configuration logic consumes the word; errors are reported
-		// via the status register, as on hardware.
-		_ = h.loader.WriteWord(uint32(val))
 		return waits
 	case RegControl:
 		if val&CtrlReset != 0 {
 			h.loader.Reset()
+			h.dec = nil
+			h.decErr = nil
 		}
 		return 1
 	default:

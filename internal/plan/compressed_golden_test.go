@@ -1,0 +1,193 @@
+package plan_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+// compressedGoldenRow pins one compressed container size: a (from, to)
+// compressed differential, or a compressed complete stream when to
+// carries the "complete:" prefix. wire is the container's on-the-wire
+// size; raw is the size of the stream it decodes to, which must equal the
+// uncompressed golden tables' byte counts row for row — compression
+// changes what transits the ICAP, never what lands in configuration
+// memory.
+type compressedGoldenRow struct {
+	from, to          string
+	wire, raw, frames int
+}
+
+// The tables below were captured from the codec at its introduction and
+// pin every single-region compressed container: the encoder is
+// deterministic (greedy ops over fixed module content), so any drift in
+// these sizes is an unintended codec change — and would silently shift
+// every planner estimate and S8 row built on top of it.
+var compressedGoldenSys32 = []compressedGoldenRow{
+	{"", "complete:blend", 284900, 367684, 744},
+	{"", "complete:brightness", 284900, 367684, 744},
+	{"", "complete:fade", 292820, 367684, 744},
+	{"", "complete:jenkins", 300740, 367684, 744},
+	{"", "complete:passthrough", 279620, 367684, 744},
+	{"", "complete:patternmatch", 306020, 367684, 744},
+	{"", "blend", 10156, 33060, 66},
+	{"", "brightness", 10156, 33060, 66},
+	{"", "fade", 20188, 65532, 132},
+	{"", "jenkins", 30220, 98004, 198},
+	{"", "passthrough", 3468, 11412, 22},
+	{"", "patternmatch", 36908, 119652, 242},
+	{"blend", "brightness", 10156, 33060, 66},
+	{"blend", "fade", 20188, 65532, 132},
+	{"blend", "jenkins", 30220, 98004, 198},
+	{"blend", "passthrough", 4524, 33060, 66},
+	{"blend", "patternmatch", 36908, 119652, 242},
+	{"brightness", "blend", 10156, 33060, 66},
+	{"brightness", "fade", 20188, 65532, 132},
+	{"brightness", "jenkins", 30220, 98004, 198},
+	{"brightness", "passthrough", 4524, 33060, 66},
+	{"brightness", "patternmatch", 36908, 119652, 242},
+	{"fade", "blend", 11740, 65532, 132},
+	{"fade", "brightness", 11740, 65532, 132},
+	{"fade", "jenkins", 30220, 98004, 198},
+	{"fade", "passthrough", 6108, 65532, 132},
+	{"fade", "patternmatch", 36908, 119652, 242},
+	{"jenkins", "blend", 13324, 98004, 198},
+	{"jenkins", "brightness", 13324, 98004, 198},
+	{"jenkins", "fade", 21772, 98004, 198},
+	{"jenkins", "passthrough", 7692, 98004, 198},
+	{"jenkins", "patternmatch", 36908, 119652, 242},
+	{"passthrough", "blend", 10156, 33060, 66},
+	{"passthrough", "brightness", 10156, 33060, 66},
+	{"passthrough", "fade", 20188, 65532, 132},
+	{"passthrough", "jenkins", 30220, 98004, 198},
+	{"passthrough", "patternmatch", 36908, 119652, 242},
+	{"patternmatch", "blend", 14380, 119652, 242},
+	{"patternmatch", "brightness", 14380, 119652, 242},
+	{"patternmatch", "fade", 22828, 119652, 242},
+	{"patternmatch", "jenkins", 31276, 119652, 242},
+	{"patternmatch", "passthrough", 8748, 119652, 242},
+}
+
+var compressedGoldenSys64 = []compressedGoldenRow{
+	{"", "complete:blend", 725192, 1001416, 1024},
+	{"", "complete:brightness", 719120, 1001416, 1024},
+	{"", "complete:fade", 731264, 1001416, 1024},
+	{"", "complete:jenkins", 737336, 1001416, 1024},
+	{"", "complete:passthrough", 719120, 1001416, 1024},
+	{"", "complete:patternmatch", 743408, 1001416, 1024},
+	{"", "complete:sha1", 804128, 1001416, 1024},
+	{"", "blend", 13676, 43836, 44},
+	{"", "brightness", 6900, 22452, 22},
+	{"", "fade", 20452, 65220, 66},
+	{"", "jenkins", 27228, 86604, 88},
+	{"", "passthrough", 6900, 22452, 22},
+	{"", "patternmatch", 34004, 107988, 110},
+	{"", "sha1", 101764, 321828, 330},
+	{"blend", "brightness", 7428, 43836, 44},
+	{"blend", "fade", 20452, 65220, 66},
+	{"blend", "jenkins", 27228, 86604, 88},
+	{"blend", "passthrough", 7428, 43836, 44},
+	{"blend", "patternmatch", 34004, 107988, 110},
+	{"blend", "sha1", 101764, 321828, 330},
+	{"brightness", "blend", 13676, 43836, 44},
+	{"brightness", "fade", 20452, 65220, 66},
+	{"brightness", "jenkins", 27228, 86604, 88},
+	{"brightness", "passthrough", 6900, 22452, 22},
+	{"brightness", "patternmatch", 34004, 107988, 110},
+	{"brightness", "sha1", 101764, 321828, 330},
+	{"fade", "blend", 14204, 65220, 66},
+	{"fade", "brightness", 7956, 65220, 66},
+	{"fade", "jenkins", 27228, 86604, 88},
+	{"fade", "passthrough", 7956, 65220, 66},
+	{"fade", "patternmatch", 34004, 107988, 110},
+	{"fade", "sha1", 101764, 321828, 330},
+	{"jenkins", "blend", 14732, 86604, 88},
+	{"jenkins", "brightness", 8484, 86604, 88},
+	{"jenkins", "fade", 20980, 86604, 88},
+	{"jenkins", "passthrough", 8484, 86604, 88},
+	{"jenkins", "patternmatch", 34004, 107988, 110},
+	{"jenkins", "sha1", 101764, 321828, 330},
+	{"passthrough", "blend", 13676, 43836, 44},
+	{"passthrough", "brightness", 6900, 22452, 22},
+	{"passthrough", "fade", 20452, 65220, 66},
+	{"passthrough", "jenkins", 27228, 86604, 88},
+	{"passthrough", "patternmatch", 34004, 107988, 110},
+	{"passthrough", "sha1", 101764, 321828, 330},
+	{"patternmatch", "blend", 15260, 107988, 110},
+	{"patternmatch", "brightness", 9012, 107988, 110},
+	{"patternmatch", "fade", 21508, 107988, 110},
+	{"patternmatch", "jenkins", 27756, 107988, 110},
+	{"patternmatch", "passthrough", 9012, 107988, 110},
+	{"patternmatch", "sha1", 101764, 321828, 330},
+	{"sha1", "blend", 20540, 321828, 330},
+	{"sha1", "brightness", 14292, 321828, 330},
+	{"sha1", "fade", 26788, 321828, 330},
+	{"sha1", "jenkins", 33036, 321828, 330},
+	{"sha1", "passthrough", 14292, 321828, 330},
+	{"sha1", "patternmatch", 39284, 321828, 330},
+}
+
+func checkCompressedGolden(t *testing.T, s *platform.System, rows []compressedGoldenRow) {
+	t.Helper()
+	for _, g := range rows {
+		var wire, raw, frames int
+		var err error
+		if name, ok := strings.CutPrefix(g.to, "complete:"); ok {
+			wire, raw, frames, err = s.Mgr.CompleteCompressedSize(name)
+		} else {
+			wire, raw, frames, err = s.Mgr.CompressedSize(g.from, g.to)
+		}
+		if err != nil {
+			t.Errorf("%s: %q -> %q: %v", s.Name, g.from, g.to, err)
+			continue
+		}
+		if wire != g.wire || raw != g.raw || frames != g.frames {
+			t.Errorf("%s: %q -> %q compressed to (%d B wire, %d B raw, %d frames), golden codec had (%d, %d, %d)",
+				s.Name, g.from, g.to, wire, raw, frames, g.wire, g.raw, g.frames)
+		}
+		if wire >= raw {
+			t.Errorf("%s: %q -> %q: container (%d B) not smaller than its stream (%d B)",
+				s.Name, g.from, g.to, wire, raw)
+		}
+	}
+}
+
+// TestSingleRegionCompressedGolden: every compressed container of the
+// paper's single-region systems matches the sizes captured at the codec's
+// introduction, and each container's raw size equals the corresponding
+// uncompressed golden row — the codec rides on the same streams the
+// three-kind planner sees.
+func TestSingleRegionCompressedGolden(t *testing.T) {
+	s32, err := platform.NewSys32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCompressedGolden(t, s32, compressedGoldenSys32)
+	s64, err := platform.NewSys64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCompressedGolden(t, s64, compressedGoldenSys64)
+	s64n, err := platform.NewSys64N(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCompressedGolden(t, s64n, compressedGoldenSys64)
+	// Cross-check against the uncompressed golden tables: raw bytes and
+	// frame counts line up row for row.
+	for i, g := range goldenSys32 {
+		z := compressedGoldenSys32[i]
+		if z.from != g.from || z.to != g.to || z.raw != g.bytes || z.frames != g.frames {
+			t.Errorf("sys32 row %d: compressed golden (%q->%q, %d B raw, %d frames) out of step with planner golden (%q->%q, %d B, %d frames)",
+				i, z.from, z.to, z.raw, z.frames, g.from, g.to, g.bytes, g.frames)
+		}
+	}
+	for i, g := range goldenSys64 {
+		z := compressedGoldenSys64[i]
+		if z.from != g.from || z.to != g.to || z.raw != g.bytes || z.frames != g.frames {
+			t.Errorf("sys64 row %d: compressed golden (%q->%q, %d B raw, %d frames) out of step with planner golden (%q->%q, %d B, %d frames)",
+				i, z.from, z.to, z.raw, z.frames, g.from, g.to, g.bytes, g.frames)
+		}
+	}
+}

@@ -60,6 +60,30 @@ func (s fuzzSource) DifferentialSize(from, to string) (int, int, error) {
 	return res.Stream.SizeBytes(), res.Frames, nil
 }
 
+func (s fuzzSource) CompressedSize(from, to string) (int, int, int, error) {
+	res, err := s.fa.asm.AssembleDifferential(s.fa.images[from], s.fa.placed[to])
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	z, err := bitstream.Compress(s.fa.images[from].Device(), res.Stream, s.fa.images[from], res.Frames)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return z.SizeBytes(), z.RawBytes(), z.Frames, nil
+}
+
+func (s fuzzSource) CompleteCompressedSize(name string) (int, int, int, error) {
+	r, ok := s.fa.complete[name]
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("unknown module %s", name)
+	}
+	z, err := bitstream.Compress(s.fa.images[name].Device(), r.Stream, nil, r.Frames)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return z.SizeBytes(), z.RawBytes(), z.Frames, nil
+}
+
 func buildFuzzWorld() (*fuzzWorld, error) {
 	dev := fabric.XC2VP30()
 	fp, err := region.Default(true, 2)

@@ -32,6 +32,11 @@ const (
 	// StreamComplete: every region frame is written. Correct regardless of
 	// prior state — the worst-case fallback.
 	StreamComplete
+	// StreamCompressed: an opcode-compressed container that decodes on the
+	// fly at the ICAP into a complete or differential stream (Base names
+	// which). Fewer bytes on the wire; the configuration port still
+	// consumes every decoded word, so Raw carries the decoded size.
+	StreamCompressed
 )
 
 // String returns the kind as a short stable label.
@@ -43,6 +48,8 @@ func (k StreamKind) String() string {
 		return "differential"
 	case StreamComplete:
 		return "complete"
+	case StreamCompressed:
+		return "compressed"
 	}
 	return fmt.Sprintf("StreamKind(%d)", int(k))
 }
@@ -61,9 +68,20 @@ type Plan struct {
 	// can cost differently on two regions, and the load path must issue
 	// the stream against the region the sizes were computed for.
 	Region string
-	// Bytes and Frames size the chosen stream (0 for StreamNone).
+	// Base names the stream a compressed container decodes into
+	// (StreamComplete or StreamDifferential); StreamNone otherwise. A
+	// complete-based container uses no configuration-memory references and
+	// is as state-independent as the complete stream itself; a
+	// differential-based one inherits the §2.2 residency precondition.
+	Base StreamKind
+	// Bytes and Frames size the chosen stream (0 for StreamNone). For a
+	// compressed stream Bytes is the wire (container) size.
 	Bytes  int
 	Frames int
+	// Raw is the decoded stream size in bytes — what the configuration
+	// port consumes. Equal to Bytes except for compressed streams. The
+	// per-byte time model is calibrated against Raw, never the wire size.
+	Raw int
 	// Est is the estimated configuration time under the planner's
 	// calibrated per-byte model (0 for StreamNone).
 	Est sim.Time
@@ -82,6 +100,13 @@ type Source interface {
 	// differential stream for the (from → to) transition. from == ""
 	// means the blank baseline. It errors when no differential exists.
 	DifferentialSize(from, to string) (bytes, frames int, err error)
+	// CompressedSize sizes the compressed container derived from the
+	// (from → to) differential stream: wire bytes, decoded (raw) bytes
+	// and frame count. It errors when no differential exists.
+	CompressedSize(from, to string) (bytes, raw, frames int, err error)
+	// CompleteCompressedSize sizes the compressed container derived from
+	// the module's complete stream (RLE only, state-independent).
+	CompleteCompressedSize(name string) (bytes, raw, frames int, err error)
 }
 
 // DefaultFsPerByte seeds the cost model: femtoseconds of configuration time
@@ -97,14 +122,22 @@ type pairEntry struct {
 	ok            bool // false: no differential exists for this pair
 }
 
+type zEntry struct {
+	bytes, raw, frames int
+	ok                 bool
+}
+
 // Planner chooses streams over one dynamic area. Safe for concurrent use.
 type Planner struct {
 	src    Source
 	region string
 
 	mu        sync.Mutex
+	compress  bool
 	complete  map[string]pairEntry // complete stream sizes by module
 	pairs     map[pairKey]pairEntry
+	zpairs    map[pairKey]zEntry // compressed differential containers
+	zfull     map[string]zEntry  // compressed complete containers
 	fsPerByte float64
 	observed  uint64
 }
@@ -123,12 +156,30 @@ func NewFor(region string, src Source) *Planner {
 		region:    region,
 		complete:  make(map[string]pairEntry),
 		pairs:     make(map[pairKey]pairEntry),
+		zpairs:    make(map[pairKey]zEntry),
+		zfull:     make(map[string]zEntry),
 		fsPerByte: DefaultFsPerByte,
 	}
 }
 
 // Region returns the dynamic region label the planner is bound to.
 func (p *Planner) Region() string { return p.region }
+
+// SetCompression toggles compressed-stream planning. Off (the default) the
+// planner's choices are byte-identical to the three-kind planner; on, the
+// compressed container joins the candidates whenever it is the smallest on
+// the wire.
+func (p *Planner) SetCompression(on bool) {
+	p.mu.Lock()
+	p.compress = on
+	p.mu.Unlock()
+}
+
+func (p *Planner) compression() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.compress
+}
 
 // Plan returns the cheapest safe stream that makes want resident, given the
 // tracked resident state. authoritative reports whether the tracked state
@@ -145,24 +196,44 @@ func (p *Planner) Plan(resident string, authoritative bool, want string) (Plan, 
 	if err != nil {
 		return Plan{}, err
 	}
-	full := Plan{Module: want, Kind: StreamComplete, Bytes: cb, Frames: cf,
+	best := Plan{Module: want, Kind: StreamComplete, Bytes: cb, Frames: cf, Raw: cb,
 		Est: p.estimate(cb), Region: p.region}
+	compress := p.compression()
+	if compress {
+		// The complete-based container carries no configuration-memory
+		// references, so it is as state-independent as the complete
+		// stream it decodes into.
+		if zb, zraw, zf, ok := p.fullCompressedSize(want); ok && zb < best.Bytes {
+			best = Plan{Module: want, Kind: StreamCompressed, Base: StreamComplete,
+				Bytes: zb, Frames: zf, Raw: zraw, Est: p.estimate(zraw), Region: p.region}
+		}
+	}
 	if !authoritative {
-		return full, nil
+		return best, nil
 	}
-	// Safety gate: a differential is only offered against an authoritative
-	// resident state, and the chosen From is carried in the plan so the
-	// manager re-verifies it at load time.
-	db, df, ok := p.pairSize(resident, want)
-	if !ok || db >= cb {
-		return full, nil
+	// Safety gate: a differential — compressed or not — is only offered
+	// against an authoritative resident state, and the chosen From is
+	// carried in the plan so the manager re-verifies it at load time.
+	if db, df, ok := p.pairSize(resident, want); ok && db < best.Bytes {
+		best = Plan{Module: want, From: resident, Kind: StreamDifferential,
+			Bytes: db, Frames: df, Raw: db, Est: p.estimate(db), Region: p.region}
 	}
-	return Plan{Module: want, From: resident, Kind: StreamDifferential,
-		Bytes: db, Frames: df, Est: p.estimate(db), Region: p.region}, nil
+	if compress {
+		if zb, zraw, zf, ok := p.pairCompressedSize(resident, want); ok && zb < best.Bytes {
+			best = Plan{Module: want, From: resident, Kind: StreamCompressed, Base: StreamDifferential,
+				Bytes: zb, Frames: zf, Raw: zraw, Est: p.estimate(zraw), Region: p.region}
+		}
+	}
+	return best, nil
 }
 
 // Observe calibrates the per-byte cost model with a measured load. The
 // estimate converges as an exponential moving average over observed rates.
+// Callers must pass the DECODED (raw) stream size, not the wire size: the
+// configuration port consumes every decoded word at a fixed rate, so the
+// femtoseconds-per-raw-byte figure is a hardware constant, while the
+// wire-byte rate of a compressed load would read ~3x slower and skew every
+// differential estimate afterwards.
 func (p *Planner) Observe(bytes int, elapsed sim.Time) {
 	if bytes <= 0 || elapsed <= 0 {
 		return
@@ -227,6 +298,45 @@ func (p *Planner) completeSize(name string) (int, int, error) {
 	p.complete[name] = pairEntry{bytes: b, frames: f, ok: true}
 	p.mu.Unlock()
 	return b, f, nil
+}
+
+// fullCompressedSize memoizes complete-based container sizes; absent when
+// the source cannot compress the module's complete stream.
+func (p *Planner) fullCompressedSize(name string) (int, int, int, bool) {
+	p.mu.Lock()
+	if e, ok := p.zfull[name]; ok {
+		p.mu.Unlock()
+		return e.bytes, e.raw, e.frames, e.ok
+	}
+	p.mu.Unlock()
+	e := zEntry{}
+	if b, r, f, err := p.src.CompleteCompressedSize(name); err == nil {
+		e = zEntry{bytes: b, raw: r, frames: f, ok: true}
+	}
+	p.mu.Lock()
+	p.zfull[name] = e
+	p.mu.Unlock()
+	return e.bytes, e.raw, e.frames, e.ok
+}
+
+// pairCompressedSize memoizes differential-based container sizes like
+// pairSize, including negative results.
+func (p *Planner) pairCompressedSize(from, to string) (int, int, int, bool) {
+	key := pairKey{from, to}
+	p.mu.Lock()
+	if e, ok := p.zpairs[key]; ok {
+		p.mu.Unlock()
+		return e.bytes, e.raw, e.frames, e.ok
+	}
+	p.mu.Unlock()
+	e := zEntry{}
+	if b, r, f, err := p.src.CompressedSize(from, to); err == nil {
+		e = zEntry{bytes: b, raw: r, frames: f, ok: true}
+	}
+	p.mu.Lock()
+	p.zpairs[key] = e
+	p.mu.Unlock()
+	return e.bytes, e.raw, e.frames, e.ok
 }
 
 // pairSize memoizes the differential size table. A pair with no

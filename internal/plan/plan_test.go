@@ -49,6 +49,26 @@ func (f *fakeSource) DifferentialSize(from, to string) (int, int, error) {
 	return b, b / 100, nil
 }
 
+// Compressed containers in the fake shave 60% off the wire size of the
+// stream they encode; the raw size stays the source stream's.
+func (f *fakeSource) CompressedSize(from, to string) (int, int, int, error) {
+	f.calls[fmt.Sprintf("zdiff:%s->%s", from, to)]++
+	b, ok := f.diff[[2]string{from, to}]
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("no differential %s->%s", from, to)
+	}
+	return b * 2 / 5, b, b / 100, nil
+}
+
+func (f *fakeSource) CompleteCompressedSize(name string) (int, int, int, error) {
+	f.calls["zfull:"+name]++
+	b, ok := f.complete[name]
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("unknown %s", name)
+	}
+	return b * 9 / 10, b, b / 100, nil
+}
+
 func TestPlanChoosesCheapestSafeStream(t *testing.T) {
 	src := newFakeSource()
 	p := New(src)
@@ -108,6 +128,53 @@ func TestPlanMemoizesSizes(t *testing.T) {
 	}
 	if p.Pairs() != 2 {
 		t.Errorf("memoized pairs = %d, want 2", p.Pairs())
+	}
+}
+
+func TestPlanCompression(t *testing.T) {
+	src := newFakeSource()
+	p := New(src)
+	p.SetCompression(true)
+
+	// Authoritative transition: the compressed differential container (40%
+	// of the differential's wire size) wins.
+	got, err := p.Plan("a", true, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != StreamCompressed || got.Base != StreamDifferential {
+		t.Fatalf("plan = %+v, want compressed differential", got)
+	}
+	if got.Bytes != 120*2/5 || got.Raw != 120 || got.From != "a" {
+		t.Fatalf("compressed plan sized %+v, want wire %d raw %d from a", got, 120*2/5, 120)
+	}
+	// The time estimate prices the decoded words the port consumes, not
+	// the wire size: identical to the differential's estimate.
+	if want := sim.Time(DefaultFsPerByte * 120); got.Est != want {
+		t.Fatalf("compressed Est = %v, want raw-based %v", got.Est, want)
+	}
+
+	// Non-authoritative state: only state-independent candidates; the
+	// RLE-only complete container undercuts the complete stream.
+	got, err = p.Plan("a", false, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != StreamCompressed || got.Base != StreamComplete || got.From != "" {
+		t.Fatalf("non-authoritative plan = %+v, want compressed complete", got)
+	}
+	if got.Bytes != 900 || got.Raw != 1000 {
+		t.Fatalf("compressed complete sized %+v, want wire 900 raw 1000", got)
+	}
+
+	// Compression off: byte-identical to the three-kind planner.
+	p.SetCompression(false)
+	got, err = p.Plan("a", true, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != StreamDifferential || got.Bytes != 120 {
+		t.Fatalf("plan with compression off = %+v, want plain differential", got)
 	}
 }
 

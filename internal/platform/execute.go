@@ -40,8 +40,16 @@ type ExecReport struct {
 	Kind plan.StreamKind
 	// BytesStreamed counts the configuration bytes through the HWICAP.
 	BytesStreamed int
-	Config        sim.Time
-	Work          sim.Time
+	// Config is the configuration time the requester actually waited for
+	// (the visible part of a DMA port window, or the whole CPU-path load).
+	Config sim.Time
+	// ConfigHidden is the part of a DMA load's port window that overlapped
+	// dispatch, work or a sibling region's load — configuration time that
+	// never showed up as request latency. Zero for CPU-path loads.
+	ConfigHidden sim.Time
+	// DMA marks a load issued through the region dock's DMA engine.
+	DMA  bool
+	Work sim.Time
 }
 
 // Latency is the simulated time the request occupied the system.
@@ -199,6 +207,18 @@ func (s *System) SetPlanning(on bool) {
 	}
 }
 
+// SetCompression toggles the compressed stream kind for every region's
+// planner. Off (the default) keeps plans byte-identical to the three-kind
+// planner; on lets the planner pick a compressed container whenever its
+// wire size undercuts every plain candidate.
+func (s *System) SetCompression(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rs := range s.regions {
+		rs.planner.SetCompression(on)
+	}
+}
+
 // PlanFor returns the stream region 0 would issue right now to make the
 // module resident, without loading anything.
 func (s *System) PlanFor(module string) (plan.Plan, error) {
@@ -248,7 +268,10 @@ func (s *System) loadWith(rs *regionSlot, name string, usePlanner bool) (ConfigR
 			name, rs.area.R.Name, rs.mgr.Current())
 	}
 	if p.Kind != plan.StreamNone {
-		rs.planner.Observe(p.Bytes, t)
+		// Calibrate on the DECODED bytes the port consumed, not the wire
+		// size: a compressed load's wire bytes would read ~3x slower per
+		// byte and skew every differential estimate.
+		rs.planner.Observe(p.Raw, t)
 	}
 	return r, nil
 }
@@ -318,7 +341,8 @@ func (s *System) LoadSpeculativeOn(ri int, name string, stop func() bool) (Confi
 			name, rs.area.R.Name, rs.mgr.Current())
 	}
 	if p.Kind != plan.StreamNone {
-		rs.planner.Observe(bytes, t)
+		// Completed loads calibrate on decoded bytes (see loadWith).
+		rs.planner.Observe(p.Raw, t)
 	}
 	return r, nil
 }
@@ -358,6 +382,75 @@ func (s *System) ExecuteOn(ri int, module string, fn func() error) (ExecReport, 
 	}
 	start := s.K.Now()
 	err = fn()
+	r.Work = s.K.Now() - start
+	s.active = 0
+	return r, err
+}
+
+// LoadTicket is one in-flight DMA-path configuration of a region: the
+// stream content is already applied, the engine's port window is standing,
+// and FinishExecuteOn settles the window against the member's timeline when
+// the task actually needs the region. Sibling regions' tickets on one
+// member overlap in simulated time.
+type LoadTicket struct {
+	ri      int
+	module  string
+	rs      *regionSlot
+	pending *core.PendingLoad
+	plan    plan.Plan
+}
+
+// Plan returns the stream the load path issued for this ticket.
+func (t *LoadTicket) Plan() plan.Plan { return t.plan }
+
+// BeginExecuteOn plans and starts the named module's configuration of the
+// given region through its dock DMA engine. The plan and the engine Begin
+// are one atomic step under the system lock; the returned ticket must be
+// settled with FinishExecuteOn on the same system. A planning or
+// configuration error is returned immediately, with the same demotion
+// semantics as the CPU path.
+func (s *System) BeginExecuteOn(ri int, module string) (*LoadTicket, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rs := s.regions[ri]
+	p, err := s.planFor(rs, module, rs.planning)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := rs.mgr.BeginPlanned(p, rs.dma)
+	if err != nil {
+		return nil, err
+	}
+	return &LoadTicket{ri: ri, module: module, rs: rs, pending: pl, plan: p}, nil
+}
+
+// FinishExecuteOn settles a ticket's port window — the visible remainder is
+// what this request waited for, the overlapped part is reported as
+// ConfigHidden — and then runs fn on the configured region, exactly like
+// ExecuteOn's work phase.
+func (s *System) FinishExecuteOn(t *LoadTicket, fn func() error) (ExecReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rs := t.rs
+	s.active = t.ri
+	visible, hidden := rs.mgr.FinishLoad(t.pending)
+	r := ExecReport{
+		Module:        t.module,
+		Region:        rs.area.R.Name,
+		CacheHit:      t.plan.Kind == plan.StreamNone,
+		Kind:          t.plan.Kind,
+		BytesStreamed: t.pending.Bytes(),
+		Config:        visible,
+		ConfigHidden:  hidden,
+		DMA:           t.plan.Kind != plan.StreamNone,
+	}
+	if rs.mgr.Current() != t.module {
+		s.active = 0
+		return r, fmt.Errorf("platform: after dma load of %s region %s binds %q",
+			t.module, rs.area.R.Name, rs.mgr.Current())
+	}
+	start := s.K.Now()
+	err := fn()
 	r.Work = s.K.Now() - start
 	s.active = 0
 	return r, err

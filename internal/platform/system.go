@@ -35,6 +35,10 @@ type regionSlot struct {
 	irqLine  int
 	dock32   *dock.OPBDock
 	dock64   *dock.PLBDock
+	// dma is this region dock's configuration DMA engine. Engines share the
+	// device's single configuration logic, but each keeps its own port
+	// window, so sibling regions' transfers overlap in simulated time.
+	dma      *icap.DMA
 	planning bool
 	skipped  []string
 }
@@ -320,6 +324,7 @@ func build(name string, is64 bool, tm Timing, fp region.Floorplan) (*System, err
 			Loader:       loader,
 			CPU:          s.CPU,
 			ICAPBase:     AddrICAP,
+			ICAP:         s.ICAP,
 			Bind:         rs.bind,
 			Kernel:       s.K,
 			StaticHashes: staticHashes,
@@ -339,6 +344,7 @@ func build(name string, is64 bool, tm Timing, fp region.Floorplan) (*System, err
 		}
 		rs.planner = plan.NewFor(rs.area.R.Name, rs.mgr)
 		rs.planning = true
+		rs.dma = icap.NewDMA(s.K, s.BusClk, loader)
 	}
 	s.Mgr = s.regions[0].mgr
 	s.Planner = s.regions[0].planner

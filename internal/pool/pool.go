@@ -110,6 +110,15 @@ func (p *Pool) SetPlanning(on bool) {
 	}
 }
 
+// SetCompression toggles the compressed stream kind on every member's
+// planners. Off (the default) keeps plans byte-identical to the three-kind
+// planner.
+func (p *Pool) SetCompression(on bool) {
+	for _, m := range p.members {
+		m.Sys.SetCompression(on)
+	}
+}
+
 // Supports reports whether at least one member can host the module.
 func (p *Pool) Supports(module string) bool {
 	for _, m := range p.members {

@@ -39,6 +39,11 @@ type Candidate struct {
 	// module is the next one requested (0 without a predictor). Policies
 	// can use it to avoid evicting a module that is about to be wanted.
 	ReuseProb float64
+	// GroupMate marks a slot whose member already received an assignment
+	// earlier in the current dispatch round. In DMA mode a miss placed
+	// there opens its port window alongside the sibling's, so the two
+	// configurations overlap in simulated time.
+	GroupMate bool
 }
 
 // Policy chooses which idle slot hosts a request on a bitstream-cache
@@ -148,11 +153,47 @@ func (prefetchPolicy) Pick(module string, cands []Candidate) int {
 	})
 }
 
+// gangPolicy co-locates the misses of one dispatch round: a slot whose
+// member already received an assignment this round wins, so DMA mode can
+// overlap the two streams' port windows on that member. A member with the
+// module resident still wins outright (the overlap never beats streaming
+// nothing), and sizing is unavailable for group mates anyway — the sibling
+// assignment makes the member non-quiet, so Plan stays unset and the
+// choice among mates falls back to LRU order. With no mate in the round
+// the policy is exactly mincost.
+type gangPolicy struct{}
+
+func (gangPolicy) Name() string { return "gang" }
+
+// NeedsPlan tells the scheduler to fill Candidate.Plan for the
+// mincost fallback.
+func (gangPolicy) NeedsPlan() bool { return true }
+
+func (gangPolicy) Pick(module string, cands []Candidate) int {
+	best := -1
+	for i, c := range cands {
+		if c.Resident == module {
+			return i
+		}
+		if !c.GroupMate {
+			continue
+		}
+		if best < 0 || c.LastUsed < cands[best].LastUsed {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return minCostPolicy{}.Pick(module, cands)
+}
+
 // policies registers the built-in placement policies by name.
 var policies = map[string]Policy{
 	"lru":      lruPolicy{},
 	"mincost":  minCostPolicy{},
 	"prefetch": prefetchPolicy{},
+	"gang":     gangPolicy{},
 }
 
 // PolicyNames lists the registered placement policies, sorted.

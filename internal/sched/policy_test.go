@@ -15,7 +15,7 @@ func cand(idx int, resident string, lastUsed uint64, bytes int) Candidate {
 }
 
 func TestPolicyRegistry(t *testing.T) {
-	for _, name := range []string{"", "lru", "mincost", "prefetch"} {
+	for _, name := range []string{"", "lru", "mincost", "prefetch", "gang"} {
 		if _, err := PolicyByName(name); err != nil {
 			t.Errorf("PolicyByName(%q): %v", name, err)
 		}
@@ -23,7 +23,7 @@ func TestPolicyRegistry(t *testing.T) {
 	if _, err := PolicyByName("nope"); err == nil {
 		t.Error("unknown policy accepted")
 	}
-	if names := PolicyNames(); len(names) != 3 || names[0] != "lru" || names[1] != "mincost" || names[2] != "prefetch" {
+	if names := PolicyNames(); len(names) != 4 || names[0] != "gang" || names[1] != "lru" || names[2] != "mincost" || names[3] != "prefetch" {
 		t.Errorf("PolicyNames() = %v", names)
 	}
 }

@@ -63,6 +63,14 @@ type Options struct {
 	// at the head of the queue, and launches a background repair; see
 	// ScrubAll for the idle-slot scrub loop.
 	Scrub bool
+	// DMA issues miss streams through each region dock's DMA engine
+	// instead of CPU stores: every assignment of one dispatch round to the
+	// same member opens its port window before any of them settles, so
+	// sibling regions' configurations overlap in simulated time — the
+	// overlapped part is reported per request as ConfigHidden and summed
+	// into Stats.OverlapConfig. Ignored while Scrub is set (the
+	// scrub-on-dispatch pass needs the CPU path's pre-execution check).
+	DMA bool
 }
 
 // Result is the outcome of one scheduled request.
@@ -91,10 +99,12 @@ type ModuleStats struct {
 	Work     sim.Time
 	Errors   uint64
 	// Bytes counts configuration bytes streamed for this module's
-	// requests; Diffs and Completes split its misses by stream kind.
-	Bytes     uint64
-	Diffs     uint64
-	Completes uint64
+	// requests; Diffs, Completes and Compressed split its misses by
+	// stream kind.
+	Bytes      uint64
+	Diffs      uint64
+	Completes  uint64
+	Compressed uint64
 }
 
 // SlotID names one scheduling slot: a member and a region index inside it.
@@ -118,11 +128,23 @@ type Stats struct {
 	Slots    []SlotID
 	BusyTime []sim.Time
 	// BytesStreamed counts all configuration bytes through the pool's
-	// HWICAPs on the request path; DiffLoads and CompleteLoads split the
-	// misses by the stream kind the planner chose.
-	BytesStreamed uint64
-	DiffLoads     uint64
-	CompleteLoads uint64
+	// configuration ports on the request path (wire bytes — a compressed
+	// container counts its wire size, matching the members' own
+	// StreamedBytes counters); DiffLoads, CompleteLoads and
+	// CompressedLoads split the misses by the stream kind the planner
+	// chose.
+	BytesStreamed   uint64
+	DiffLoads       uint64
+	CompleteLoads   uint64
+	CompressedLoads uint64
+
+	// DMA accounting — zero unless Options.DMA is enabled. DMALoads counts
+	// request-path streams issued through dock DMA engines; OverlapConfig
+	// is the part of their port windows that overlapped sibling loads,
+	// dispatch or work — configuration time that never showed up as
+	// request latency (Config counts only the visible remainder).
+	DMALoads      uint64
+	OverlapConfig sim.Time
 
 	// Prefetch accounting — all zero unless Options.Prefetch is enabled.
 	// Config above counts only visible (request-path) configuration time;
@@ -350,8 +372,17 @@ func New(p *pool.Pool, opts Options) *Scheduler {
 // Result exactly once. A request whose module no slot supports fails
 // immediately.
 func (s *Scheduler) Submit(t tasks.Runner) <-chan Result {
-	ch := make(chan Result, 1)
 	s.mu.Lock()
+	ch := s.submitLocked(t)
+	s.dispatchLocked()
+	s.mu.Unlock()
+	return ch
+}
+
+// submitLocked enqueues one request without dispatching. Called with s.mu
+// held; unsupported modules fail immediately, like Submit.
+func (s *Scheduler) submitLocked(t tasks.Runner) <-chan Result {
+	ch := make(chan Result, 1)
 	s.stopped = false
 	s.nextID++
 	req := &request{id: s.nextID, task: t, ch: ch}
@@ -368,16 +399,30 @@ func (s *Scheduler) Submit(t tasks.Runner) <-chan Result {
 		ms.Requests++
 		ms.Errors++
 		s.stats.Modules[t.Module()] = ms
-		s.mu.Unlock()
 		ch <- Result{ID: req.id, Task: t.Name(), Module: t.Module(),
 			Member: -1, Region: -1, Err: fmt.Errorf("sched: no slot supports module %q", t.Module())}
 		return ch
 	}
 	s.wg.Add(1)
 	s.pending = append(s.pending, req)
+	return ch
+}
+
+// SubmitBatch queues a group of requests and dispatches them in ONE round:
+// the placement of every request sees the whole group, so a round-aware
+// policy ("gang") can co-locate two misses on sibling regions of one
+// member, where DMA mode overlaps their configurations. Submitting the
+// same requests one by one reaches the same slots only when wall-clock
+// timing cooperates; the batch makes the pairing deterministic.
+func (s *Scheduler) SubmitBatch(ts []tasks.Runner) []<-chan Result {
+	out := make([]<-chan Result, len(ts))
+	s.mu.Lock()
+	for i, t := range ts {
+		out[i] = s.submitLocked(t)
+	}
 	s.dispatchLocked()
 	s.mu.Unlock()
-	return ch
+	return out
 }
 
 // SubmitAll queues a whole workload and returns the result channels in
@@ -489,8 +534,13 @@ func (s *Scheduler) supported(module string) bool {
 // region of a board whose sibling region is busy, the conflict a
 // single-region pool must pay a miss for.
 func (s *Scheduler) dispatchLocked() {
+	// Scrub-on-dispatch needs the CPU path's pre-execution pass, so DMA
+	// dispatch yields to it.
+	useDMA := s.opts.DMA && !s.opts.Scrub
+	var round []assignment
+	assigned := make(map[int]bool)
 	for {
-		ri, si := s.pickLocked()
+		ri, si := s.pickLocked(assigned)
 		if ri < 0 {
 			break
 		}
@@ -523,14 +573,44 @@ func (s *Scheduler) dispatchLocked() {
 		ss.lastModule = head.task.Module()
 		s.tick++
 		ss.lastUsed = s.tick
-		go s.runBatch(ss, si, batch)
+		assigned[ss.m.ID] = true
+		round = append(round, assignment{ss: ss, si: si, batch: batch})
+	}
+	if len(round) > 0 {
+		// One goroutine per member: a member's assignments of this round
+		// run in assignment order on its serialized timeline (so a
+		// multi-assignment round is deterministic), while different
+		// members' groups proceed independently. In DMA mode the group
+		// additionally Begins every head's stream back to back before any
+		// settles — sibling regions' port windows open together and
+		// overlap. A round launched one assignment at a time (the common
+		// case: requests arrive singly) behaves exactly as before.
+		var order []*pool.Member
+		byMember := make(map[*pool.Member][]assignment)
+		for _, a := range round {
+			if _, ok := byMember[a.ss.m]; !ok {
+				order = append(order, a.ss.m)
+			}
+			byMember[a.ss.m] = append(byMember[a.ss.m], a)
+		}
+		for _, m := range order {
+			go s.runGroup(byMember[m], useDMA)
+		}
 	}
 	s.prefetchLocked()
 }
 
+// assignment is one dispatched (slot, batch) pair of a round.
+type assignment struct {
+	ss    *slotState
+	si    int
+	batch []*request
+}
+
 // pickLocked returns the indices of the first schedulable pending request
-// and its chosen slot, or (-1, -1).
-func (s *Scheduler) pickLocked() (int, int) {
+// and its chosen slot, or (-1, -1). assigned holds the member IDs already
+// given an assignment in the current dispatch round (Candidate.GroupMate).
+func (s *Scheduler) pickLocked(assigned map[int]bool) (int, int) {
 	for ri, req := range s.pending {
 		mod := req.task.Module()
 		var cands []Candidate
@@ -543,7 +623,8 @@ func (s *Scheduler) pickLocked() (int, int) {
 			// matching request dispatched there rides the stream to a hit,
 			// a different one aborts it (see dispatchLocked).
 			c := Candidate{Index: si, Member: ss.m.ID, Region: ss.ri,
-				Resident: ss.residentView(), LastUsed: ss.lastUsed, Speculating: ss.specBusy}
+				Resident: ss.residentView(), LastUsed: ss.lastUsed, Speculating: ss.specBusy,
+				GroupMate: assigned[ss.m.ID]}
 			if c.Resident == mod {
 				hit = si
 				break
@@ -841,6 +922,59 @@ func (s *Scheduler) runBatch(ss *slotState, si int, batch []*request) {
 	s.mu.Unlock()
 }
 
+// runGroup runs one member's assignments of a dispatch round in order. In
+// DMA mode every head's stream Begins before any assignment settles, so
+// sibling regions' port windows overlap; then each assignment settles its
+// window, runs its batch and releases its slot on the member's serialized
+// timeline. On the CPU path the assignments simply run back to back.
+func (s *Scheduler) runGroup(group []assignment, dma bool) {
+	if !dma {
+		for _, a := range group {
+			s.runBatch(a.ss, a.si, a.batch)
+		}
+		return
+	}
+	tickets := make([]*platform.LoadTicket, len(group))
+	for i, a := range group {
+		tk, err := a.ss.m.Sys.BeginExecuteOn(a.ss.ri, a.batch[0].task.Module())
+		if err == nil {
+			tickets[i] = tk
+		}
+		// On a Begin error the ticket stays nil and the run phase falls
+		// back to the CPU path's ExecuteOn, which re-plans after the
+		// demotion and reports whatever happens through the normal path.
+	}
+	for i, a := range group {
+		s.runAssignment(a, tickets[i])
+	}
+}
+
+func (s *Scheduler) runAssignment(a assignment, tk *platform.LoadTicket) {
+	ss, si := a.ss, a.si
+	sys := ss.m.Sys
+	for bi, req := range a.batch {
+		t := req.task
+		var rep platform.ExecReport
+		var err error
+		if bi == 0 && tk != nil {
+			rep, err = sys.FinishExecuteOn(tk, func() error { return t.Run(sys) })
+		} else {
+			// Batch riders behind the head (and Begin-error fallbacks) take
+			// the ordinary load path — for riders a zero-stream cache hit.
+			rep, err = sys.ExecuteOn(ss.ri, t.Module(), func() error { return t.Run(sys) })
+		}
+		res := Result{ID: req.id, Task: t.Name(), Module: t.Module(),
+			Member: ss.m.ID, Region: ss.ri, System: sys.Name, Report: rep, Err: err}
+		res.Seq = s.record(si, res)
+		req.ch <- res
+		s.wg.Done()
+	}
+	s.mu.Lock()
+	ss.busy = false
+	s.dispatchLocked()
+	s.mu.Unlock()
+}
+
 // quarantineLocked takes a corruption-detected slot out of service and
 // launches its background repair. The scrub already demoted the region
 // through the §2.2 hazard gate, so the repair's reload streams a complete
@@ -957,7 +1091,14 @@ func (s *Scheduler) record(si int, res Result) (seq uint64) {
 	case plan.StreamComplete:
 		st.CompleteLoads++
 		m.Completes++
+	case plan.StreamCompressed:
+		st.CompressedLoads++
+		m.Compressed++
 	}
+	if res.Report.DMA && res.Report.Kind != plan.StreamNone {
+		st.DMALoads++
+	}
+	st.OverlapConfig += res.Report.ConfigHidden
 	if res.Report.CacheHit {
 		st.Hits++
 		m.Hits++
