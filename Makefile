@@ -1,4 +1,4 @@
-.PHONY: build test race vet fmt bench benchgate fuzz regionsmoke faultsmoke compresssmoke replay gobench sim sched
+.PHONY: build test race vet fmt bench benchgate fuzz regionsmoke faultsmoke compresssmoke scalesmoke profile replay gobench sim sched
 
 build:
 	go build ./...
@@ -20,7 +20,9 @@ fmt:
 # (complete-only vs planner-backed, lru vs mincost), the S3 prefetch
 # comparison (visible config time with and without speculative loads), the
 # S4 region-granularity comparison (single- vs dual-region boards at equal
-# total fabric), the S7 fault sweep (availability under injected upsets
+# total fabric), the S6 scaling sweep (sharded dispatch throughput and
+# sojourn percentiles vs offered load, on its own committed 32-board
+# capacity spec), the S7 fault sweep (availability under injected upsets
 # with scrubbing) and the S8 load-path comparison (complete vs diff vs
 # compressed vs compressed+DMA) on the seeded 60-request mixed workload,
 # as tables on stdout and BENCH_sched.json. Each refresh is also archived
@@ -36,8 +38,11 @@ bench:
 # fail if visible config time or bytes streamed regress past tolerance
 # against the committed BENCH_sched.json on any configuration (15% on the
 # deterministic S3, S4, S7 and S8 rows; the concurrency-noisy S2 rows carry
-# a wider per-record band). After an intended perf change, run `make bench`
-# and commit the refreshed baseline.
+# a wider per-record band; the S6 rows pin their all-hit zeros absolutely —
+# any config byte on the capacity drive's request path fails the gate —
+# while their host-dependent throughput fields stay informational). After
+# an intended perf change, run `make bench` and commit the refreshed
+# baseline.
 benchgate:
 	go run ./cmd/fpgad -compare -json BENCH_fresh.json -sys32 2 -sys64 2 -n 60 -seed 7 -batch 4 \
 		-mix "sha1=1,jenkins=2,patternmatch=1,brightness=2,blend=2,fade=2,transfer=1"
@@ -68,6 +73,24 @@ faultsmoke:
 # overlap, under the race detector.
 compresssmoke:
 	go test -run 'Compress|DMA' -race ./...
+
+# Sharded-dispatch smoke: work-stealing FIFO order, cross-shard
+# conservation laws and the S6 open-loop scaling drives, under the race
+# detector (the speedup bar is waived under -race; see
+# internal/bench/race_off.go).
+scalesmoke:
+	go test -run 'Shard|Scaling' -race ./...
+
+# Profile the sharded dispatcher under a saturating open-loop drive: CPU
+# and mutex-contention profiles land in artifacts/profile for
+# `go tool pprof`. For a live view use `go run ./cmd/fpgad -pprof
+# localhost:6060 ...` instead.
+profile:
+	mkdir -p artifacts/profile
+	go run ./cmd/fpgad -sys32 8 -n 4000 -mix jenkins=1 -batch 1 -seed 7 \
+		-shards 4 -rate 2000000 \
+		-cpuprofile artifacts/profile/cpu.pprof -mutexprofile artifacts/profile/mutex.pprof
+	@echo "profiles: artifacts/profile/cpu.pprof artifacts/profile/mutex.pprof"
 
 # Fault replay: generate the seeded S7 upset campaign as a JSONL artifact,
 # then replay it against the scheduled pool and write the availability

@@ -16,7 +16,11 @@
 //	fpgad -regions 2                             # two dynamic regions per member
 //	fpgad -regions 2 floorplan                   # print the pool's floorplans and exit
 //	fpgad -arrivals                              # open-loop S5 latency percentiles
-//	fpgad -compare -json BENCH_sched.json        # S2 + S3 + S4 + S7 + S8 comparisons
+//	fpgad -shards 4                              # sharded dispatch (per-shard run queues)
+//	fpgad -shards 4 -rate 200000                 # open-loop drive, sojourn percentiles
+//	fpgad -pprof localhost:6060                  # live net/http/pprof with mutex profiling
+//	fpgad -cpuprofile cpu.out -mutexprofile mtx.out
+//	fpgad -compare -json BENCH_sched.json        # S2 + S3 + S4 + S6 + S7 + S8 comparisons
 package main
 
 import (
@@ -24,13 +28,19 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	runtimepprof "runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/pool"
 	"repro/internal/predict"
 	"repro/internal/sched"
+	"repro/internal/sim"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -59,8 +69,16 @@ func run(args []string, out, errw io.Writer) int {
 		"independently reconfigurable regions per member (1 = the paper's fixed dynamic area)")
 	arrivals := fs.Bool("arrivals", false,
 		"also replay the measured service trace under open-loop Poisson/bursty arrivals (table S5)")
+	shards := fs.Int("shards", 1,
+		"independently locked scheduler shards, each owning a subset of the pool's members (1 = the single-mutex dispatcher)")
+	rate := fs.Float64("rate", 0,
+		"open-loop Poisson arrival rate in requests per simulated second (0 = closed-loop submission); reports sojourn percentiles")
+	pprofAddr := fs.String("pprof", "",
+		"serve net/http/pprof on this address (e.g. localhost:6060) with mutex and block profiling enabled")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	mutexProfile := fs.String("mutexprofile", "", "write a mutex-contention profile of the whole run to this file")
 	compare := fs.Bool("compare", false,
-		"run the S2 placement, S3 prefetch, S4 region, S7 fault and S8 compression comparisons instead of a single run")
+		"run the S2 placement, S3 prefetch, S4 region, S6 scaling, S7 fault and S8 compression comparisons instead of a single run")
 	jsonPath := fs.String("json", "", "write machine-readable per-configuration records to this file")
 	verbose := fs.Bool("v", false, "log every request")
 	if err := fs.Parse(args); err != nil {
@@ -72,6 +90,62 @@ func run(args []string, out, errw io.Writer) int {
 	if *regions < 1 {
 		fmt.Fprintf(errw, "fpgad: -regions %d: at least one region per member\n", *regions)
 		return 2
+	}
+	if *shards < 1 {
+		fmt.Fprintf(errw, "fpgad: -shards %d: at least one shard\n", *shards)
+		return 2
+	}
+	if *rate < 0 {
+		fmt.Fprintf(errw, "fpgad: -rate %g: arrival rate must be positive\n", *rate)
+		return 2
+	}
+	if *rate > 0 && *window > 0 {
+		fmt.Fprintln(errw, "fpgad: -rate drives open-loop; -window drives closed-loop — pick one")
+		return 2
+	}
+	// Profiling hooks cover everything below, single runs and -compare
+	// sweeps alike. Mutex/block sampling must be on before the contended
+	// locks are born, so it precedes the pool boot.
+	if *pprofAddr != "" || *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(5)
+		runtime.SetBlockProfileRate(1000)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(errw, "fpgad: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(out, "pprof: serving http://%s/debug/pprof/ (mutex fraction 5, block rate 1000ns)\n", *pprofAddr)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(errw, "fpgad:", err)
+			return 1
+		}
+		if err := runtimepprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(errw, "fpgad:", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			runtimepprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *mutexProfile != "" {
+		defer func() {
+			f, err := os.Create(*mutexProfile)
+			if err != nil {
+				fmt.Fprintln(errw, "fpgad:", err)
+				return
+			}
+			defer f.Close()
+			if err := runtimepprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(errw, "fpgad:", err)
+			}
+		}()
 	}
 	spec := bench.PlacementSpec{
 		Pool:  pool.Config{Sys32: *sys32, Sys64: *sys64, Regions: *regions},
@@ -97,13 +171,13 @@ func run(args []string, out, errw io.Writer) int {
 		// The comparisons sweep every policy × stream-mode × prefetch ×
 		// region configuration themselves, so a single-run selection would
 		// be misleading.
-		if *policyName != "lru" || !*planOn || *prefetchOn || *window != 0 || *regions != 1 || *arrivals {
-			fmt.Fprintln(errw, "fpgad: -compare runs all configurations; -policy/-plan/-prefetch/-window/-regions/-arrivals only apply to single runs")
+		if *policyName != "lru" || !*planOn || *prefetchOn || *window != 0 || *regions != 1 || *arrivals || *shards != 1 || *rate != 0 {
+			fmt.Fprintln(errw, "fpgad: -compare runs all configurations (the S6 sweep varies shard count and offered load itself); -policy/-plan/-prefetch/-window/-regions/-arrivals/-shards/-rate only apply to single runs")
 			return 2
 		}
 		return runCompare(spec, *jsonPath, out, errw)
 	}
-	opts := sched.Options{Batch: *batch, Policy: policy}
+	opts := sched.Options{Batch: *batch, Policy: policy, Shards: *shards}
 	if *prefetchOn {
 		pred, err := predict.New(*predictorName)
 		if err != nil {
@@ -131,8 +205,8 @@ func run(args []string, out, errw io.Writer) int {
 	if *prefetchOn {
 		prefetchDesc = "on (" + *predictorName + ")"
 	}
-	fmt.Fprintf(out, "pool: %d member(s); workload: %d request(s), mix %s, batch %d, policy %s, streams %s, prefetch %s\n\n",
-		p.Size(), *n, *mixSpec, *batch, policy.Name(), streams, prefetchDesc)
+	fmt.Fprintf(out, "pool: %d member(s); workload: %d request(s), mix %s, batch %d, policy %s, streams %s, prefetch %s, shards %d\n\n",
+		p.Size(), *n, *mixSpec, *batch, policy.Name(), streams, prefetchDesc, *shards)
 
 	s := sched.New(p, opts)
 	failed := 0
@@ -150,19 +224,57 @@ func run(args []string, out, errw io.Writer) int {
 				r.Report.Config, r.Report.Work)
 		}
 	}
-	if *window > 0 {
+	var sojourns []sim.Time
+	var makespan sim.Time
+	start := time.Now()
+	switch {
+	case *rate > 0:
+		// Open-loop: every request carries its generated Poisson arrival
+		// stamp and submission never waits for completions; the
+		// scheduler's wall-clock overlay turns the stamps into sojourn
+		// (queue wait + service) per request.
+		arr, err := bench.GenArrivals(*seed, *n, "poisson", sim.Time(float64(sim.Second) / *rate))
+		if err != nil {
+			fmt.Fprintln(errw, "fpgad:", err)
+			return 2
+		}
+		chs := make([]<-chan sched.Result, len(w))
+		for i := range w {
+			chs[i] = s.SubmitAt(w[i], arr[i])
+		}
+		for _, ch := range chs {
+			r := <-ch
+			report(r)
+			if r.Err == nil {
+				sojourns = append(sojourns, r.Sojourn)
+				if r.DoneAt > makespan {
+					makespan = r.DoneAt
+				}
+			}
+		}
+	case *window > 0:
 		s.SubmitWindowed(w, *window, report)
-	} else {
+	default:
 		for _, ch := range s.SubmitAll(w) {
 			report(<-ch)
 		}
 	}
 	s.Wait()
+	elapsed := time.Since(start)
 	if *verbose {
 		fmt.Fprintln(out)
 	}
 	st := s.Stats()
 	bench.ThroughputTable(st, results...).Format(out)
+	if *rate > 0 && len(sojourns) > 0 {
+		pct := bench.Percentiles(sojourns, 0.50, 0.95, 0.99)
+		fmt.Fprintf(out, "open-loop: %.0f req/s offered (simulated), sojourn p50 %v p95 %v p99 %v, makespan %v, sustained %.0f req/s (real)",
+			*rate, pct[0], pct[1], pct[2], makespan, float64(len(sojourns))/elapsed.Seconds())
+		if st.Steals > 0 {
+			fmt.Fprintf(out, ", %d steal(s) moved %d request(s)", st.Steals, st.StolenRequests)
+		}
+		fmt.Fprintln(out)
+	}
 	if *arrivals {
 		at, err := bench.ArrivalTable(spec, *seed, []float64{0.7, 0.95})
 		if err != nil {
@@ -202,12 +314,29 @@ func run(args []string, out, errw io.Writer) int {
 		}
 		run := bench.PlacementRun{Label: label, Policy: policy.Name(), Planner: *planOn, Stats: st}
 		recs := bench.PlacementRecords([]bench.PlacementRun{run})
-		if *prefetchOn || *window > 0 || *regions != 1 {
+		if *prefetchOn || *window > 0 || *regions != 1 || *shards != 1 || *rate > 0 {
 			r := &recs[0]
 			r.Table = "single"
 			r.TolerancePct = 0
 			if *regions != 1 {
 				r.Label += fmt.Sprintf("+regions%d", *regions)
+			}
+			if *shards != 1 {
+				r.Label += fmt.Sprintf("+shards%d", *shards)
+				r.Shards = *shards
+				r.Steals = st.Steals
+				r.StolenRequests = st.StolenRequests
+			}
+			if *rate > 0 {
+				r.Label += fmt.Sprintf("+rate%g", *rate)
+				r.ArrivalProcess = "poisson"
+				r.ThroughputRPS = float64(len(sojourns)) / elapsed.Seconds()
+				if len(sojourns) > 0 {
+					pct := bench.Percentiles(sojourns, 0.50, 0.95, 0.99)
+					r.P50Ms = pct[0].Milliseconds()
+					r.P95Ms = pct[1].Milliseconds()
+					r.P99Ms = pct[2].Milliseconds()
+				}
 			}
 			if *window > 0 {
 				r.Label += fmt.Sprintf("+window%d", *window)
@@ -238,9 +367,10 @@ func run(args []string, out, errw io.Writer) int {
 
 // runCompare drives the same seeded workload under each placement
 // configuration (table S2), each prefetch configuration (table S3), each
-// region granularity (table S4), each fault-injection rate (table S7) and
-// each configuration load path (table S8), optionally emitting the
-// combined JSON records the CI bench gate diffs.
+// region granularity (table S4), each shard count and offered load (table
+// S6, on its own committed capacity spec), each fault-injection rate
+// (table S7) and each configuration load path (table S8), optionally
+// emitting the combined JSON records the CI bench gate diffs.
 func runCompare(spec bench.PlacementSpec, jsonPath string, out, errw io.Writer) int {
 	fmt.Fprintf(out, "comparing configurations on the same workload: pool %d+%d, %d request(s), mix %s, batch %d, seed %d\n\n",
 		spec.Pool.Sys32, spec.Pool.Sys64, spec.N, spec.Mix, spec.Batch, spec.Seed)
@@ -265,6 +395,12 @@ func runCompare(spec bench.PlacementSpec, jsonPath string, out, errw io.Writer) 
 		return 1
 	}
 	bench.RegionTable(rruns).Format(out)
+	sruns, err := bench.ScalingRuns(bench.DefaultScalingSpec())
+	if err != nil {
+		fmt.Fprintln(errw, "fpgad:", err)
+		return 1
+	}
+	bench.ScalingTable(sruns).Format(out)
 	fspec := bench.DefaultFaultSpec()
 	fspec.Seed, fspec.N, fspec.Mix, fspec.Batch = spec.Seed, spec.N, spec.Mix, spec.Batch
 	fruns, err := bench.FaultRuns(fspec)
@@ -284,6 +420,7 @@ func runCompare(spec bench.PlacementSpec, jsonPath string, out, errw io.Writer) 
 	if jsonPath != "" {
 		recs := append(bench.PlacementRecords(runs), bench.PrefetchRecords(pruns)...)
 		recs = append(recs, bench.RegionRecords(rruns)...)
+		recs = append(recs, bench.ScalingRecords(sruns)...)
 		recs = append(recs, bench.FaultRecords(fruns)...)
 		recs = append(recs, bench.CompressRecords(cruns)...)
 		if err := writeRecords(jsonPath, recs); err != nil {

@@ -166,6 +166,21 @@ type PlacementRecord struct {
 	DMALoads        uint64  `json:"dma_loads,omitempty"`
 	OverlapMs       float64 `json:"overlap_ms,omitempty"`
 
+	// S6 open-loop scaling fields; zero for the other tables. The
+	// throughput fields are host wall-clock measurements and the
+	// percentiles depend on concurrent placement, so none of them are
+	// gated — the gate pins S6 through its zero config_ms/bytes_streamed
+	// (the all-hit invariant of the capacity drive).
+	Shards           int     `json:"shards,omitempty"`
+	OfferedLoad      float64 `json:"offered_load,omitempty"`
+	ArrivalProcess   string  `json:"arrival_process,omitempty"`
+	ThroughputRPS    float64 `json:"throughput_rps,omitempty"`
+	SimThroughputRPS float64 `json:"sim_throughput_rps,omitempty"`
+	P50Ms            float64 `json:"p50_ms,omitempty"`
+	P95Ms            float64 `json:"p95_ms,omitempty"`
+	Steals           uint64  `json:"steals,omitempty"`
+	StolenRequests   uint64  `json:"stolen_requests,omitempty"`
+
 	// S7 fault-replay fields; zero for the other tables.
 	FaultsInjected uint64  `json:"faults_injected,omitempty"`
 	FaultsDetected uint64  `json:"faults_detected,omitempty"`

@@ -1,0 +1,6 @@
+//go:build race
+
+package bench
+
+// raceEnabled: see race_off.go.
+const raceEnabled = true

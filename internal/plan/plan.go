@@ -270,6 +270,35 @@ func (p *Planner) CompleteBytes(name string) (int, error) {
 	return b, err
 }
 
+// RestoreBytes is the planner's state-independent estimate, in wire
+// bytes, of re-hosting the module later: the (blank → module)
+// differential, falling back to the complete stream when no differential
+// exists — exactly the candidates Plan would weigh for a future
+// transition onto a blank or unknown region. With compression enabled the
+// compressed containers join the candidates, because Plan would pick one
+// whenever it is smaller: a prefetcher's profit and eviction arithmetic
+// must price restores at the bytes a restore would actually stream, or a
+// 3x-compressible module looks three times more expensive to evict than
+// it is.
+func (p *Planner) RestoreBytes(name string) (int, error) {
+	best, ok := p.PairBytes("", name)
+	if !ok {
+		var err error
+		if best, err = p.CompleteBytes(name); err != nil {
+			return 0, err
+		}
+	}
+	if p.compression() {
+		if zb, _, _, ok := p.fullCompressedSize(name); ok && zb < best {
+			best = zb
+		}
+		if zb, _, _, ok := p.pairCompressedSize("", name); ok && zb < best {
+			best = zb
+		}
+	}
+	return best, nil
+}
+
 // Pairs reports how many (from, to) transitions have been memoized.
 func (p *Planner) Pairs() int {
 	p.mu.Lock()

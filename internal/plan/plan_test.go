@@ -178,6 +178,43 @@ func TestPlanCompression(t *testing.T) {
 	}
 }
 
+func TestRestoreBytesCompression(t *testing.T) {
+	src := newFakeSource()
+	p := New(src)
+
+	// Compression off: the blank-baseline differential, falling back to
+	// the complete stream when no differential exists — byte-identical to
+	// the pre-compression estimate.
+	if b, err := p.RestoreBytes("a"); err != nil || b != 200 {
+		t.Fatalf("RestoreBytes(a) = %d, %v; want blank differential 200", b, err)
+	}
+	if b, err := p.RestoreBytes("c"); err != nil || b != 1000 {
+		t.Fatalf("RestoreBytes(c) = %d, %v; want complete fallback 1000", b, err)
+	}
+
+	// Compression on: the estimate drops to the wire size Plan would
+	// actually stream — the compressed blank differential for a (40% of
+	// 200), the compressed complete container for c (90% of 1000, no
+	// blank differential exists).
+	p.SetCompression(true)
+	if b, err := p.RestoreBytes("a"); err != nil || b != 200*2/5 {
+		t.Fatalf("RestoreBytes(a) with compression = %d, %v; want compressed differential %d", b, err, 200*2/5)
+	}
+	if b, err := p.RestoreBytes("c"); err != nil || b != 900 {
+		t.Fatalf("RestoreBytes(c) with compression = %d, %v; want compressed complete 900", b, err)
+	}
+
+	// Toggling back off restores the uncompressed estimate (memoized
+	// compressed sizes must not leak into the plain path).
+	p.SetCompression(false)
+	if b, err := p.RestoreBytes("a"); err != nil || b != 200 {
+		t.Fatalf("RestoreBytes(a) after toggle = %d, %v; want 200", b, err)
+	}
+	if _, err := p.RestoreBytes("nope"); err == nil {
+		t.Fatal("unknown module estimated")
+	}
+}
+
 func TestObserveCalibratesEstimate(t *testing.T) {
 	src := newFakeSource()
 	p := New(src)

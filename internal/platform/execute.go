@@ -282,20 +282,20 @@ func (s *System) RestoreEstimate(module string) (int, error) {
 }
 
 // RestoreEstimateOn returns the planner's state-independent estimate, in
-// stream bytes, of re-hosting the module on the given region later: the
+// wire bytes, of re-hosting the module on the given region later: the
 // (blank → module) differential, falling back to the complete stream when
-// no differential exists. A prefetcher weighs a speculative eviction by
-// what bringing each side back would cost — a wide, rarely-requested
+// no differential exists, and — when compression is enabled — the
+// compressed container whenever it would stream fewer bytes (the same
+// candidate set Plan weighs). A prefetcher weighs a speculative eviction
+// by what bringing each side back would cost — a wide, rarely-requested
 // module (sha1) is worth protecting over a narrow frequent one precisely
-// because every transition involving it streams its full width.
+// because every transition involving it streams its full width, and with
+// compression on that width is the compressed wire size, not the decoded
+// frame count.
 func (s *System) RestoreEstimateOn(ri int, module string) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	rs := s.regions[ri]
-	if b, ok := rs.planner.PairBytes("", module); ok {
-		return b, nil
-	}
-	return rs.planner.CompleteBytes(module)
+	return s.regions[ri].planner.RestoreBytes(module)
 }
 
 // LoadSpeculative speculatively configures region 0; see LoadSpeculativeOn.

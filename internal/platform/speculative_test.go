@@ -102,3 +102,87 @@ func TestSpeculativeAbortBeforeStartIsFree(t *testing.T) {
 		t.Fatalf("Resident() = %q, want fade untouched", got)
 	}
 }
+
+// TestSpeculativeCompressedStream pins the compressed speculative path:
+// with compression enabled a speculative load rides the same planner as a
+// demand load, so its stream is the compressed container — fewer wire
+// bytes for the same hidden configuration — and the restore estimate the
+// prefetch profit gate consumes shrinks to the compressed wire size.
+func TestSpeculativeCompressedStream(t *testing.T) {
+	s, err := NewSys32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainRestore, err := s.RestoreEstimate("fade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetCompression(true)
+	zRestore, err := s.RestoreEstimate("fade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zRestore >= plainRestore {
+		t.Fatalf("compressed restore estimate %d B, want < plain %d B (profit gate must price wire bytes)",
+			zRestore, plainRestore)
+	}
+	rep, err := s.LoadSpeculative("fade", func() bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != plan.StreamCompressed {
+		t.Fatalf("speculative report %+v, want a compressed stream", rep)
+	}
+	if rep.Bytes != zRestore {
+		t.Fatalf("speculative stream %d B, restore estimate priced %d B", rep.Bytes, zRestore)
+	}
+	er, err := s.Execute("fade", func() error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !er.CacheHit || er.Config != 0 {
+		t.Fatalf("execute report %+v, want cache hit with zero config time", er)
+	}
+}
+
+// TestSpeculativeCompressedAbort runs the abort safety chain with
+// compression on: the demote-to-non-authoritative discipline is identical
+// (Resident clears, the recovery stream is complete-based — here its
+// compressed container) and the region recovers uncorrupted.
+func TestSpeculativeCompressedAbort(t *testing.T) {
+	s, err := NewSys32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetCompression(true)
+	if _, err := s.LoadModule("fade"); err != nil {
+		t.Fatal(err)
+	}
+	polls := 0
+	rep, err := s.LoadSpeculative("blend", func() bool {
+		polls++
+		return polls >= 3
+	})
+	if !errors.Is(err, core.ErrAborted) {
+		t.Fatalf("err = %v, want core.ErrAborted", err)
+	}
+	if !rep.Aborted || rep.Bytes <= 0 {
+		t.Fatalf("abort report %+v, want partial bytes", rep)
+	}
+	if got := s.Resident(); got != "" {
+		t.Fatalf("Resident() = %q after abort, want \"\" (non-authoritative)", got)
+	}
+	er, err := s.Execute("blend", func() error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.CacheHit {
+		t.Fatalf("post-abort execute report %+v, want a miss", er)
+	}
+	if er.Kind != plan.StreamCompressed && er.Kind != plan.StreamComplete {
+		t.Fatalf("post-abort stream kind %v, want a complete-based stream", er.Kind)
+	}
+	if s.Resident() != "blend" || s.Status().Corrupted {
+		t.Fatalf("recovery failed: resident %q corrupted=%v", s.Resident(), s.Status().Corrupted)
+	}
+}

@@ -119,6 +119,27 @@ func (p *Pool) SetCompression(on bool) {
 	}
 }
 
+// Partition splits the members into n round-robin groups — the shard-aware
+// construction the sharded scheduler builds on. Members are dealt by ID
+// (member i lands in group i mod n), so a mixed 32/64-bit pool spreads
+// both fabric widths across every group, and a member's sibling regions
+// always stay together (a member is never split — the scheduler's
+// member-quiet and DMA gang invariants depend on one shard owning all of
+// a board's slots). n is clamped to [1, Size()]; every group is non-empty.
+func (p *Pool) Partition(n int) [][]*Member {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(p.members) {
+		n = len(p.members)
+	}
+	groups := make([][]*Member, n)
+	for i, m := range p.members {
+		groups[i%n] = append(groups[i%n], m)
+	}
+	return groups
+}
+
 // Supports reports whether at least one member can host the module.
 func (p *Pool) Supports(module string) bool {
 	for _, m := range p.members {

@@ -28,6 +28,16 @@
 // at the next safe boundary, and the §2.2 hazard gate (per region)
 // guarantees the partial region content is never executed against — a
 // wrong guess wastes speculative bytes, never correctness.
+//
+// With Options.Shards > 1 the pool's members are partitioned into
+// independently locked shards, each with its own run queue, slot set and
+// placement state; requests are routed round-robin among the shards that
+// can host their module, a shard whose queue drains steals queued work
+// from its siblings (see shard.stealLocked), and the hot-path identity
+// counters (submission ID, completion sequence, in-flight count) are
+// atomics, so no pool-wide lock exists anywhere on the dispatch path. One
+// shard reproduces the pre-shard scheduler's dispatch order byte for byte
+// — the dispatch-order goldens pin that equivalence.
 package sched
 
 import (
@@ -35,7 +45,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/plan"
 	"repro/internal/platform"
 	"repro/internal/pool"
 	"repro/internal/predict"
@@ -50,12 +59,15 @@ type Options struct {
 	// disables reordering entirely (pure FIFO).
 	Batch int
 	// Policy places cache-missing requests on idle slots. nil means LRU.
+	// Policies must be stateless (all built-ins are): shards consult the
+	// policy concurrently.
 	Policy Policy
 	// Prefetch enables speculative configuration of idle slots with the
 	// predictor's next-module guesses.
 	Prefetch bool
 	// Predictor guides prefetching and fills Candidate.ReuseProb; it is
-	// trained online from the arrival stream. nil with Prefetch enabled
+	// trained online from the arrival stream and shared by all shards
+	// (implementations serialize internally). nil with Prefetch enabled
 	// selects the default markov predictor.
 	Predictor predict.Predictor
 	// Scrub runs a readback-CRC scrub of the dispatched slot before each
@@ -63,6 +75,13 @@ type Options struct {
 	// at the head of the queue, and launches a background repair; see
 	// ScrubAll for the idle-slot scrub loop.
 	Scrub bool
+	// Shards partitions the pool's members into this many independently
+	// locked scheduler shards (run queue + slot set + placement state),
+	// with work stealing between them. 0 or 1 keeps the whole pool under
+	// one shard — bitwise-identical to the pre-shard scheduler; the
+	// dispatch-order goldens pin that equivalence. Clamped to the member
+	// count (a member's sibling regions are never split across shards).
+	Shards int
 	// DMA issues miss streams through each region dock's DMA engine
 	// instead of CPU stores: every assignment of one dispatch round to the
 	// same member opens its port window before any of them settles, so
@@ -84,6 +103,16 @@ type Result struct {
 	System string
 	Report platform.ExecReport
 	Err    error
+
+	// Open-loop accounting — all zero unless the request was submitted
+	// through SubmitAt. Times are on the pool-wide simulated wall clock:
+	// the request arrives at Arrival, starts when its member's timeline
+	// frees up (Start), and finishes at DoneAt; Sojourn = DoneAt - Arrival
+	// is queue wait plus service, the latency an open-loop client sees.
+	Arrival sim.Time
+	Start   sim.Time
+	DoneAt  sim.Time
+	Sojourn sim.Time
 }
 
 // Latency is the simulated time the request occupied its slot
@@ -107,6 +136,20 @@ type ModuleStats struct {
 	Compressed uint64
 }
 
+// add merges another module's worth of counters into m.
+func (m *ModuleStats) add(o ModuleStats) {
+	m.Requests += o.Requests
+	m.Hits += o.Hits
+	m.Misses += o.Misses
+	m.Config += o.Config
+	m.Work += o.Work
+	m.Errors += o.Errors
+	m.Bytes += o.Bytes
+	m.Diffs += o.Diffs
+	m.Completes += o.Completes
+	m.Compressed += o.Compressed
+}
+
 // SlotID names one scheduling slot: a member and a region index inside it.
 type SlotID struct {
 	Member int
@@ -124,7 +167,8 @@ type Stats struct {
 	Errors   uint64
 	Modules  map[string]ModuleStats
 	// Slots names each scheduling slot; BusyTime is the slot's simulated
-	// busy time (config+work), indexed alike.
+	// busy time (config+work), indexed alike. Pool order (member, region)
+	// regardless of how the slots are sharded.
 	Slots    []SlotID
 	BusyTime []sim.Time
 	// BytesStreamed counts all configuration bytes through the pool's
@@ -145,6 +189,15 @@ type Stats struct {
 	// request latency (Config counts only the visible remainder).
 	DMALoads      uint64
 	OverlapConfig sim.Time
+
+	// Sharded-dispatch accounting — zero with a single shard. Steals
+	// counts successful cross-shard steal operations (a drained shard
+	// pulling queued work from a sibling); StolenRequests the requests
+	// moved. A stolen request completes on the thief shard and is booked
+	// there — no counter is ever double-counted by a steal, so every
+	// conservation law below holds shard by shard and in the aggregate.
+	Steals         uint64
+	StolenRequests uint64
 
 	// Prefetch accounting — all zero unless Options.Prefetch is enabled.
 	// Config above counts only visible (request-path) configuration time;
@@ -201,6 +254,47 @@ type Stats struct {
 	RepairConfig sim.Time
 }
 
+// addScalars sums another stats block's scalar counters (everything except
+// Requests/Done, which are scheduler-level atomics, and Slots/BusyTime,
+// which Stats() stitches in pool order) into s.
+func (s *Stats) addScalars(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Config += o.Config
+	s.Work += o.Work
+	s.Errors += o.Errors
+	s.BytesStreamed += o.BytesStreamed
+	s.DiffLoads += o.DiffLoads
+	s.CompleteLoads += o.CompleteLoads
+	s.CompressedLoads += o.CompressedLoads
+	s.DMALoads += o.DMALoads
+	s.OverlapConfig += o.OverlapConfig
+	s.Steals += o.Steals
+	s.StolenRequests += o.StolenRequests
+	s.PrefetchIssued += o.PrefetchIssued
+	s.PrefetchLoads += o.PrefetchLoads
+	s.PrefetchCompleted += o.PrefetchCompleted
+	s.PrefetchAborted += o.PrefetchAborted
+	s.PrefetchHits += o.PrefetchHits
+	s.PrefetchBytes += o.PrefetchBytes
+	s.PrefetchConsumed += o.PrefetchConsumed
+	s.PrefetchWasted += o.PrefetchWasted
+	s.PrefetchPending += o.PrefetchPending
+	s.HiddenConfig += o.HiddenConfig
+	s.PrefetchConfig += o.PrefetchConfig
+	s.ScrubPasses += o.ScrubPasses
+	s.FaultsDetected += o.FaultsDetected
+	s.Requeues += o.Requeues
+	s.Repairs += o.Repairs
+	s.RepairBytes += o.RepairBytes
+	s.RepairConfig += o.RepairConfig
+	for k, v := range o.Modules {
+		m := s.Modules[k]
+		m.add(v)
+		s.Modules[k] = m
+	}
+}
+
 // HitRate returns the bitstream-cache hit fraction of executed requests
 // (submit-rejected requests never touch the cache and are excluded).
 func (s Stats) HitRate() float64 {
@@ -215,6 +309,11 @@ type request struct {
 	id   uint64
 	task tasks.Runner
 	ch   chan Result
+	// arrival stamps the request's open-loop simulated arrival time;
+	// openLoop marks requests submitted through SubmitAt, whose record
+	// computes the wall-clock sojourn overlay.
+	arrival  sim.Time
+	openLoop bool
 }
 
 // abortToken cancels one speculative load; the loader polls it at safe
@@ -226,7 +325,9 @@ func (a *abortToken) aborted() bool { return a.flag.Load() }
 
 // slotState is one scheduling slot: a (member, region) pair. Sibling
 // slots of one member have independent residents and speculation state but
-// share the member's serialized simulated timeline.
+// share the member's serialized simulated timeline. A slot belongs to
+// exactly one shard for the scheduler's lifetime; all mutable fields are
+// guarded by that shard's mu.
 type slotState struct {
 	m  *pool.Member
 	ri int // region index within the member
@@ -237,9 +338,9 @@ type slotState struct {
 	// completion; "" after an abort, an error, or at boot). The scheduler
 	// owns the pool, so nothing else can move a region's resident state —
 	// and the dispatcher must never touch the member's own lock while
-	// holding the scheduler lock: a sibling region mid-execution holds
+	// holding the shard lock: a sibling region mid-execution holds
 	// that lock for its whole simulated run, which would stall dispatch
-	// to every other board.
+	// to every other board of the shard.
 	resident string
 	// lastModule is the module of the most recent dispatch — the resident
 	// module a busy slot converges to, read without touching its lock.
@@ -275,7 +376,7 @@ type slotState struct {
 	// background repair (runRepair) completes and clears it.
 	quarantined bool
 	// scrubbing marks a slot mid readback scrub (ScrubAll runs the pass
-	// outside the scheduler lock); treated like busy by pick, prefetch
+	// outside the shard lock); treated like busy by pick, prefetch
 	// and Drained.
 	scrubbing bool
 }
@@ -302,43 +403,47 @@ func (ss *slotState) supports(module string) bool {
 	return ss.m.Sys.SupportsOn(ss.ri, module)
 }
 
-// memberQuiet reports whether no slot of the member is executing or
-// streaming: only then is the member's lock free to take briefly for plan
-// sizing and restore estimates. Calls into a non-quiet member would block
-// the scheduler lock behind the sibling's entire simulated run. On
-// single-region pools quiet is exactly "this slot is idle and not
-// speculating", so the pre-multi-region behaviour is unchanged.
-func (s *Scheduler) memberQuiet(m *pool.Member) bool {
-	for _, ss := range s.slots {
-		if ss.m == m && (ss.busy || ss.specBusy || ss.quarantined || ss.scrubbing) {
-			return false
-		}
-	}
-	return true
+// slotRef addresses one slot globally: which shard holds it and at which
+// shard-local index. Scheduler.Stats uses the refs to stitch the
+// per-shard Slots/BusyTime slices back into pool order.
+type slotRef struct {
+	shard int
+	idx   int
 }
 
-// Scheduler dispatches task requests onto a pool's (member, region) slots.
+// Scheduler dispatches task requests onto a pool's (member, region) slots,
+// partitioned into one or more independently locked shards.
 type Scheduler struct {
 	opts Options
 	// planAware: the policy reads Candidate.Plan, so pickLocked must fill
 	// it (the first fill per transition assembles the differential — a
-	// one-time cost under the scheduler lock; later fills are memoized).
+	// one-time cost under the shard lock; later fills are memoized).
 	planAware bool
 
-	mu      sync.Mutex
-	pending []*request
-	slots   []*slotState
-	tick    uint64
-	nextID  uint64
-	stats   Stats
-	wg      sync.WaitGroup
+	shards    []*shard
+	slotOrder []slotRef
+	// clock is the pool-wide simulated wall clock: every open-loop
+	// completion advances it to the request's simulated finish time.
+	clock sim.WallClock
 
-	// specWG tracks speculative load goroutines; stopped (set by Wait,
-	// cleared by Submit) keeps a drained scheduler from speculating into
-	// the void after the last result is delivered.
-	specWG  sync.WaitGroup
-	stopped bool
-	// repairWG tracks background repair goroutines of quarantined slots.
+	// Lock-free hot-path counters. nextID hands out submission IDs, done
+	// the pool-wide completion sequence, requests the submission count,
+	// inflight the accepted-but-undelivered count (Drained's fast path);
+	// rr rotates the round-robin router. None of them ever takes a lock,
+	// so shards never serialize on shared identity state.
+	rr       atomic.Uint64
+	nextID   atomic.Uint64
+	requests atomic.Uint64
+	done     atomic.Uint64
+	inflight atomic.Int64
+	// stopped (set by Wait, cleared by Submit) keeps a drained scheduler
+	// from speculating into the void after the last result is delivered.
+	stopped atomic.Bool
+
+	wg sync.WaitGroup
+	// specWG tracks speculative load goroutines; repairWG background
+	// repair goroutines of quarantined slots.
+	specWG   sync.WaitGroup
 	repairWG sync.WaitGroup
 }
 
@@ -354,57 +459,90 @@ func New(p *pool.Pool, opts Options) *Scheduler {
 	if opts.Prefetch && opts.Predictor == nil {
 		opts.Predictor, _ = predict.New("")
 	}
-	s := &Scheduler{opts: opts, stats: Stats{Modules: make(map[string]ModuleStats)}}
+	s := &Scheduler{opts: opts}
 	if pa, ok := opts.Policy.(interface{ NeedsPlan() bool }); ok {
 		s.planAware = pa.NeedsPlan()
 	}
+	groups := p.Partition(opts.Shards)
+	memberShard := make(map[int]int) // member ID -> shard index
+	memberBase := make(map[int]int)  // member ID -> first shard-local slot
+	s.shards = make([]*shard, len(groups))
+	for i, g := range groups {
+		sh := &shard{sc: s, id: i, freeAt: make(map[*pool.Member]sim.Time)}
+		sh.stats.Modules = make(map[string]ModuleStats)
+		for _, m := range g {
+			memberShard[m.ID] = i
+			memberBase[m.ID] = len(sh.slots)
+			for ri := 0; ri < m.Sys.NumRegions(); ri++ {
+				sh.slots = append(sh.slots, &slotState{m: m, ri: ri})
+				sh.stats.Slots = append(sh.stats.Slots, SlotID{Member: m.ID, Region: ri})
+			}
+		}
+		sh.stats.BusyTime = make([]sim.Time, len(sh.slots))
+		s.shards[i] = sh
+	}
+	// Global slot order = pool order (member ID, region) — exactly the
+	// pre-shard flattening, so Stats' Slots/BusyTime layout is unchanged
+	// under any shard count.
 	for _, m := range p.Members() {
 		for ri := 0; ri < m.Sys.NumRegions(); ri++ {
-			s.slots = append(s.slots, &slotState{m: m, ri: ri})
-			s.stats.Slots = append(s.stats.Slots, SlotID{Member: m.ID, Region: ri})
+			s.slotOrder = append(s.slotOrder,
+				slotRef{shard: memberShard[m.ID], idx: memberBase[m.ID] + ri})
 		}
 	}
-	s.stats.BusyTime = make([]sim.Time, len(s.slots))
 	return s
+}
+
+// Shards reports how many shards the scheduler dispatches over.
+func (s *Scheduler) Shards() int { return len(s.shards) }
+
+// Clock returns the pool-wide simulated wall clock: the maximum DoneAt of
+// any completed open-loop request so far. Zero until SubmitAt is used.
+func (s *Scheduler) Clock() sim.Time { return s.clock.Now() }
+
+// route picks the target shard for a module: round-robin among the shards
+// with a slot that can host it, so independent submitters spread across
+// the pool. Falls back to the rotation's first shard when nothing supports
+// the module (submitLocked fails the request there).
+func (s *Scheduler) route(module string) *shard {
+	n := len(s.shards)
+	if n == 1 {
+		return s.shards[0]
+	}
+	start := int(s.rr.Add(1)-1) % n
+	for i := 0; i < n; i++ {
+		sh := s.shards[(start+i)%n]
+		if sh.supportsModule(module) {
+			return sh
+		}
+	}
+	return s.shards[start]
 }
 
 // Submit queues a task request and returns a channel that delivers its
 // Result exactly once. A request whose module no slot supports fails
 // immediately.
 func (s *Scheduler) Submit(t tasks.Runner) <-chan Result {
-	s.mu.Lock()
-	ch := s.submitLocked(t)
-	s.dispatchLocked()
-	s.mu.Unlock()
-	return ch
+	return s.submit(t, 0, false)
 }
 
-// submitLocked enqueues one request without dispatching. Called with s.mu
-// held; unsupported modules fail immediately, like Submit.
-func (s *Scheduler) submitLocked(t tasks.Runner) <-chan Result {
-	ch := make(chan Result, 1)
-	s.stopped = false
-	s.nextID++
-	req := &request{id: s.nextID, task: t, ch: ch}
-	s.stats.Requests++
-	if s.opts.Predictor != nil {
-		// Train on the arrival stream — including requests that fail below:
-		// the workload asked for the module either way.
-		s.opts.Predictor.Observe(t.Module())
-	}
-	if !s.supported(t.Module()) {
-		s.stats.Done++
-		s.stats.Errors++
-		ms := s.stats.Modules[t.Module()]
-		ms.Requests++
-		ms.Errors++
-		s.stats.Modules[t.Module()] = ms
-		ch <- Result{ID: req.id, Task: t.Name(), Module: t.Module(),
-			Member: -1, Region: -1, Err: fmt.Errorf("sched: no slot supports module %q", t.Module())}
-		return ch
-	}
-	s.wg.Add(1)
-	s.pending = append(s.pending, req)
+// SubmitAt queues a task request stamped with its open-loop simulated
+// arrival time. The result additionally carries the wall-clock overlay
+// (Arrival/Start/DoneAt/Sojourn): the request starts when it has both
+// arrived and found its member's timeline free, so sojourn measures queue
+// wait plus service — the open-loop latency dimension the per-member
+// simulated-time model cannot see. Arrival times should be non-decreasing
+// per submitter, as a real request stream's are.
+func (s *Scheduler) SubmitAt(t tasks.Runner, arrival sim.Time) <-chan Result {
+	return s.submit(t, arrival, true)
+}
+
+func (s *Scheduler) submit(t tasks.Runner, arrival sim.Time, openLoop bool) <-chan Result {
+	sh := s.route(t.Module())
+	sh.mu.Lock()
+	ch := sh.submitLocked(t, arrival, openLoop)
+	sh.dispatchLocked()
+	sh.mu.Unlock()
 	return ch
 }
 
@@ -413,15 +551,36 @@ func (s *Scheduler) submitLocked(t tasks.Runner) <-chan Result {
 // policy ("gang") can co-locate two misses on sibling regions of one
 // member, where DMA mode overlaps their configurations. Submitting the
 // same requests one by one reaches the same slots only when wall-clock
-// timing cooperates; the batch makes the pairing deterministic.
+// timing cooperates; the batch makes the pairing deterministic. Under
+// sharding the whole batch lands on one shard (so the gang pairing
+// survives); only requests that shard cannot host are routed away.
 func (s *Scheduler) SubmitBatch(ts []tasks.Runner) []<-chan Result {
 	out := make([]<-chan Result, len(ts))
-	s.mu.Lock()
-	for i, t := range ts {
-		out[i] = s.submitLocked(t)
+	if len(ts) == 0 {
+		return out
 	}
-	s.dispatchLocked()
-	s.mu.Unlock()
+	n := len(s.shards)
+	primary := s.shards[int(s.rr.Add(1)-1)%n]
+	var order []*shard
+	byShard := make(map[*shard][]int, 1)
+	for i, t := range ts {
+		sh := primary
+		if n > 1 && !sh.supportsModule(t.Module()) {
+			sh = s.route(t.Module())
+		}
+		if _, ok := byShard[sh]; !ok {
+			order = append(order, sh)
+		}
+		byShard[sh] = append(byShard[sh], i)
+	}
+	for _, sh := range order {
+		sh.mu.Lock()
+		for _, i := range byShard[sh] {
+			out[i] = sh.submitLocked(ts[i], 0, false)
+		}
+		sh.dispatchLocked()
+		sh.mu.Unlock()
+	}
 	return out
 }
 
@@ -463,563 +622,79 @@ func (s *Scheduler) SubmitWindowed(ts []tasks.Runner, window int, onResult func(
 // joined, so Stats() is stable and the pool is untouched afterwards.
 func (s *Scheduler) Wait() {
 	s.wg.Wait()
-	s.mu.Lock()
-	s.stopped = true
-	for _, ss := range s.slots {
-		if ss.specBusy {
-			ss.specAbort.trigger()
+	s.stopped.Store(true)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, ss := range sh.slots {
+			if ss.specBusy {
+				ss.specAbort.trigger()
+			}
 		}
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
 	s.specWG.Wait()
 	s.repairWG.Wait()
 }
 
-// Drained reports whether the scheduler is fully settled: no pending
-// request, no slot executing, and no speculative stream in flight.
-// Closed-loop drivers that need reproducible runs poll it between
+// Drained reports whether the scheduler is fully settled: no accepted
+// request undelivered, no slot executing, and no speculative stream in
+// flight. Closed-loop drivers that need reproducible runs poll it between
 // arrivals — a delivered Result precedes the slot's release and the
 // tail dispatch that may issue new speculation, so observing counters
-// alone can race with both.
+// alone can race with both. The in-flight fast path is atomic; the
+// per-shard slot scan takes each shard's lock in turn.
 func (s *Scheduler) Drained() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.pending) > 0 {
+	if s.inflight.Load() > 0 {
 		return false
 	}
-	for _, ss := range s.slots {
-		if ss.busy || ss.specBusy || ss.quarantined || ss.scrubbing {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		ok := len(sh.pending) == 0
+		if ok {
+			for _, ss := range sh.slots {
+				if ss.busy || ss.specBusy || ss.quarantined || ss.scrubbing {
+					ok = false
+					break
+				}
+			}
+		}
+		sh.mu.Unlock()
+		if !ok {
 			return false
 		}
 	}
 	return true
 }
 
-// Stats returns a copy of the aggregate counters.
+// Stats returns a copy of the aggregate counters: the atomic identity
+// counters, the per-shard counter blocks summed, and Slots/BusyTime
+// stitched back into pool (member, region) order.
 func (s *Scheduler) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stats
-	st.Modules = make(map[string]ModuleStats, len(s.stats.Modules))
-	for k, v := range s.stats.Modules {
-		st.Modules[k] = v
-	}
-	st.Slots = append([]SlotID(nil), s.stats.Slots...)
-	st.BusyTime = append([]sim.Time(nil), s.stats.BusyTime...)
-	for _, ss := range s.slots {
-		st.PrefetchPending += uint64(ss.prefetchedBytes)
-	}
-	return st
-}
-
-func (s *Scheduler) supported(module string) bool {
-	for _, ss := range s.slots {
-		if ss.supports(module) {
-			return true
+	agg := Stats{Modules: make(map[string]ModuleStats)}
+	per := make([]Stats, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		st := sh.stats
+		st.Modules = make(map[string]ModuleStats, len(sh.stats.Modules))
+		for k, v := range sh.stats.Modules {
+			st.Modules[k] = v
 		}
-	}
-	return false
-}
-
-// dispatchLocked assigns as many pending requests as the idle slots
-// allow. Called with s.mu held.
-//
-// Dispatch: scan pending in FIFO order; the first request with an eligible
-// idle slot is dispatched (later requests may only overtake it inside
-// the same-module batch window below, or when no idle slot supports its
-// module — e.g. a sha1 request waiting for a 64-bit slot while 32-bit
-// slots sit idle). Slot choice is delegated to the placement policy;
-// every built-in policy sends a request to a slot with the module
-// already resident when one is idle (cache hit) — including an idle
-// region of a board whose sibling region is busy, the conflict a
-// single-region pool must pay a miss for.
-func (s *Scheduler) dispatchLocked() {
-	// Scrub-on-dispatch needs the CPU path's pre-execution pass, so DMA
-	// dispatch yields to it.
-	useDMA := s.opts.DMA && !s.opts.Scrub
-	var round []assignment
-	assigned := make(map[int]bool)
-	for {
-		ri, si := s.pickLocked(assigned)
-		if ri < 0 {
-			break
+		st.Slots = append([]SlotID(nil), sh.stats.Slots...)
+		st.BusyTime = append([]sim.Time(nil), sh.stats.BusyTime...)
+		for _, ss := range sh.slots {
+			st.PrefetchPending += uint64(ss.prefetchedBytes)
 		}
-		head := s.pending[ri]
-		batch := []*request{head}
-		s.pending = append(s.pending[:ri], s.pending[ri+1:]...)
-		// Pull queued same-module requests into the batch window.
-		for i := 0; i < len(s.pending) && len(batch) < s.opts.Batch; {
-			if s.pending[i].task.Module() == head.task.Module() {
-				batch = append(batch, s.pending[i])
-				s.pending = append(s.pending[:i], s.pending[i+1:]...)
-				continue
-			}
-			i++
-		}
-		ss := s.slots[si]
-		if ss.specBusy {
-			if ss.specModule != head.task.Module() {
-				// Preempt: the speculative stream parks at its next safe
-				// boundary; Execute then serializes behind it on the
-				// member's lock. Sibling regions' streams are left alone.
-				ss.specAbort.trigger()
-			} else {
-				// The dispatch rides the in-flight stream — the overlap
-				// paying off; the speculative goroutine credits the hit.
-				ss.specHitPending = true
-			}
-		}
-		ss.busy = true
-		ss.lastModule = head.task.Module()
-		s.tick++
-		ss.lastUsed = s.tick
-		assigned[ss.m.ID] = true
-		round = append(round, assignment{ss: ss, si: si, batch: batch})
+		sh.mu.Unlock()
+		per[i] = st
+		agg.addScalars(st)
 	}
-	if len(round) > 0 {
-		// One goroutine per member: a member's assignments of this round
-		// run in assignment order on its serialized timeline (so a
-		// multi-assignment round is deterministic), while different
-		// members' groups proceed independently. In DMA mode the group
-		// additionally Begins every head's stream back to back before any
-		// settles — sibling regions' port windows open together and
-		// overlap. A round launched one assignment at a time (the common
-		// case: requests arrive singly) behaves exactly as before.
-		var order []*pool.Member
-		byMember := make(map[*pool.Member][]assignment)
-		for _, a := range round {
-			if _, ok := byMember[a.ss.m]; !ok {
-				order = append(order, a.ss.m)
-			}
-			byMember[a.ss.m] = append(byMember[a.ss.m], a)
-		}
-		for _, m := range order {
-			go s.runGroup(byMember[m], useDMA)
-		}
+	agg.Requests = s.requests.Load()
+	agg.Done = s.done.Load()
+	for _, ref := range s.slotOrder {
+		agg.Slots = append(agg.Slots, per[ref.shard].Slots[ref.idx])
+		agg.BusyTime = append(agg.BusyTime, per[ref.shard].BusyTime[ref.idx])
 	}
-	s.prefetchLocked()
-}
-
-// assignment is one dispatched (slot, batch) pair of a round.
-type assignment struct {
-	ss    *slotState
-	si    int
-	batch []*request
-}
-
-// pickLocked returns the indices of the first schedulable pending request
-// and its chosen slot, or (-1, -1). assigned holds the member IDs already
-// given an assignment in the current dispatch round (Candidate.GroupMate).
-func (s *Scheduler) pickLocked(assigned map[int]bool) (int, int) {
-	for ri, req := range s.pending {
-		mod := req.task.Module()
-		var cands []Candidate
-		hit := -1
-		for si, ss := range s.slots {
-			if ss.busy || ss.quarantined || ss.scrubbing || !ss.supports(mod) {
-				continue
-			}
-			// For a speculating slot the view is the in-flight target: a
-			// matching request dispatched there rides the stream to a hit,
-			// a different one aborts it (see dispatchLocked).
-			c := Candidate{Index: si, Member: ss.m.ID, Region: ss.ri,
-				Resident: ss.residentView(), LastUsed: ss.lastUsed, Speculating: ss.specBusy,
-				GroupMate: assigned[ss.m.ID]}
-			if c.Resident == mod {
-				hit = si
-				break
-			}
-			cands = append(cands, c)
-		}
-		// Cache hit: dispatch there without consulting the policy (every
-		// built-in policy would pick it anyway), skipping the per-slot
-		// plan sizing below.
-		if hit >= 0 {
-			return ri, hit
-		}
-		for i := range cands {
-			// A speculating slot's plan cannot be sized without waiting
-			// out its stream, and a slot whose sibling region is executing
-			// or streaming cannot be sized without waiting out the member
-			// lock; leaving PlanOK false costs them as worst case, so
-			// policies prefer quiet slots and abort speculation only as a
-			// last resort.
-			if s.planAware && !cands[i].Speculating {
-				ss := s.slots[cands[i].Index]
-				if s.memberQuiet(ss.m) {
-					if p, err := ss.m.Sys.PlanForOn(ss.ri, mod); err == nil {
-						cands[i].Plan, cands[i].PlanOK = p, true
-					}
-				}
-			}
-			if s.opts.Predictor != nil {
-				cands[i].ReuseProb = s.opts.Predictor.Prob(cands[i].Resident)
-			}
-		}
-		if len(cands) > 0 {
-			return ri, cands[s.opts.Policy.Pick(mod, cands)].Index
-		}
-	}
-	return -1, -1
-}
-
-// prefetchLocked speculatively configures idle slots with the predictor's
-// next-module guesses. Called with s.mu held at the end of every dispatch
-// round. For each ranked module not already resident (or in flight)
-// anywhere in the pool, the idle slot whose planner offers the cheapest
-// (resident → predicted) transition hosts the speculative load; at least
-// one slot is always left unspeculated so a miss for an unpredicted
-// module finds a quiet home. A busy slot is never a target, but an idle
-// region whose sibling is computing is — the stream interleaves with the
-// sibling's work on the member's serialized timeline, and the next
-// request for the guess hits warm fabric on an already-loaded board.
-// Slots carrying an unconsumed prefetch are skipped — replacing their
-// guess before anyone used it would only convert speculative bytes into
-// waste.
-func (s *Scheduler) prefetchLocked() {
-	if !s.opts.Prefetch || s.stopped || s.opts.Predictor == nil {
-		return
-	}
-	speculating := 0
-	var idle []*slotState
-	for _, ss := range s.slots {
-		if ss.specBusy {
-			speculating++
-			continue
-		}
-		// Only slots of quiet members are speculation targets this round:
-		// sizing a stream for a member whose sibling region is executing
-		// would block the scheduler lock behind that run. The member's
-		// release re-enters dispatchLocked, so deferred slots are
-		// revisited the moment the board frees up.
-		if !ss.busy && ss.prefetched == "" && s.memberQuiet(ss.m) {
-			idle = append(idle, ss)
-		}
-	}
-	// At most half the pool's slots speculate at once: a miss for an
-	// unpredicted module must still find quiet slots to choose among, or
-	// placement degenerates to "the one slot not speculating" and the
-	// per-miss streams grow past what prefetch hits save.
-	limit := len(s.slots) / 2
-	if limit < 1 {
-		limit = 1
-	}
-	if len(idle) == 0 || speculating >= limit {
-		return
-	}
-	// Modules already resident (or arriving) anywhere in the pool are not
-	// worth a second copy.
-	resident := make(map[string]bool, len(s.slots))
-	for _, ss := range s.slots {
-		resident[ss.residentView()] = true
-	}
-	candidates := s.opts.Predictor.Rank(2 * len(s.slots) * len(s.slots))
-	// The eviction loss is constant per slot within the round; computing
-	// it once avoids per-candidate RestoreEstimate round trips through
-	// the members' locks (idle slots belong to quiet members, so those
-	// trips are brief).
-	loss := make(map[*slotState]float64, len(idle))
-	for _, ss := range idle {
-		if r := ss.resident; r != "" {
-			loss[ss] = s.opts.Predictor.Prob(r) * float64(restoreBytes(ss, r))
-		}
-	}
-	for speculating < limit && len(idle) > 0 {
-		// Choose the (idle slot, predicted module) pair with the highest
-		// expected profit in stream bytes:
-		//
-		//   Prob(predicted) * restore(predicted) - Prob(resident) * restore(resident)
-		//
-		// where restore(x) is the planner's state-independent estimate of
-		// re-hosting x later. The first term is what a predicted hit saves;
-		// the second what evicting the resident costs when it is requested
-		// again. The gate is what keeps speculation from strip-mining
-		// affinity: a wide, occasionally-requested resident (sha1) beats a
-		// narrow frequent guess because every transition touching it
-		// streams its full width, while a blank or cold resident loses to
-		// any warm prediction. Only positive-profit speculation is issued.
-		bestIdle, bestMod, bestProfit, bestPlan := -1, "", 0.0, 0
-		for _, mod := range candidates {
-			if mod == "" || resident[mod] {
-				continue
-			}
-			prob := s.opts.Predictor.Prob(mod)
-			if prob <= 0 {
-				continue
-			}
-			for i, ss := range idle {
-				if !ss.supports(mod) {
-					continue
-				}
-				// Sized per slot: restore estimates differ between the
-				// 32- and 64-bit fabrics (and between uneven regions).
-				save := prob * float64(restoreBytes(ss, mod))
-				profit := save - loss[ss]
-				if profit <= 0 || profit < bestProfit {
-					continue
-				}
-				// Only potential winners are stream-sized: PlanForOn breaks
-				// profit ties toward the cheaper speculative transition,
-				// and skipping the clear losers keeps the member-lock
-				// round trips under the scheduler lock proportional to
-				// improvements, not candidates.
-				pb := int(^uint(0) >> 1)
-				if p, err := ss.m.Sys.PlanForOn(ss.ri, mod); err == nil {
-					pb = p.Bytes
-				}
-				if profit > bestProfit || pb < bestPlan {
-					bestIdle, bestMod, bestProfit, bestPlan = i, mod, profit, pb
-				}
-			}
-		}
-		if bestIdle < 0 {
-			return
-		}
-		ss := idle[bestIdle]
-		// The launched stream holds the member's lock until it lands, so
-		// the member is no longer quiet: drop every sibling slot from the
-		// idle list too, or the next iteration's plan sizing would block
-		// the scheduler lock behind this stream.
-		kept := idle[:0]
-		for _, other := range idle {
-			if other.m != ss.m {
-				kept = append(kept, other)
-			}
-		}
-		idle = kept
-		resident[bestMod] = true
-		speculating++
-		ss.specBusy, ss.specModule = true, bestMod
-		ss.specAbort = &abortToken{}
-		s.stats.PrefetchIssued++
-		s.specWG.Add(1)
-		go s.runSpeculative(ss, bestMod, ss.specAbort)
-	}
-}
-
-// restoreBytes is a slot's state-independent stream-size estimate for
-// hosting the module, with an unknown module costed as free (never worth
-// protecting or prefetching).
-func restoreBytes(ss *slotState, module string) int {
-	b, err := ss.m.Sys.RestoreEstimateOn(ss.ri, module)
-	if err != nil {
-		return 0
-	}
-	return b
-}
-
-// runSpeculative drives one speculative load to completion or abort and
-// records its outcome. Every speculative byte is booked exactly once:
-// either as waste (here, on abort or on a completed stream that outran
-// its abort) or as consumed (on the prefetch hit that uses it) or it
-// stays pending in the slot's prefetched fields until one of the two.
-func (s *Scheduler) runSpeculative(ss *slotState, mod string, tok *abortToken) {
-	defer s.specWG.Done()
-	rep, err := ss.m.Sys.LoadSpeculativeOn(ss.ri, mod, tok.aborted)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ss.specBusy, ss.specModule, ss.specAbort = false, "", nil
-	st := &s.stats
-	st.PrefetchBytes += uint64(rep.Bytes)
-	st.PrefetchConfig += rep.Time
-	if rep.Bytes > 0 {
-		st.PrefetchLoads++
-	}
-	hitPending := ss.specHitPending
-	ss.specHitPending = false
-	// Refresh the cached resident — but only when the slot was neither
-	// preempted nor claimed: a triggered token means a real dispatch (or
-	// Wait) owns the slot's fate, and its record() may already have run,
-	// so writing here could clobber the authoritative value with stale
-	// state (the same ordering hazard the prefetched fields guard
-	// against). A skipped write can leave the cache conservatively stale
-	// after a Wait-time abort; the manager's live hazard gate still plans
-	// every stream correctly.
-	if !tok.aborted() && !ss.busy {
-		if err == nil {
-			ss.resident = mod
-		} else {
-			ss.resident = ""
-		}
-	}
-	switch {
-	case err == nil && rep.Kind != plan.StreamNone:
-		st.PrefetchCompleted++
-		switch {
-		case hitPending:
-			// A request is riding this stream to a hit right now.
-			st.PrefetchHits++
-			st.PrefetchConsumed += uint64(rep.Bytes)
-			st.HiddenConfig += rep.Time
-		case tok.aborted():
-			// The stream outran its abort: a dispatch for a different
-			// module (or Wait) claimed the slot while the last words
-			// were going out. The guessed resident is about to be
-			// overwritten — marking it prefetched now could outlive the
-			// preempting load's record and starve the slot, so the
-			// bytes are waste directly.
-			st.PrefetchWasted += uint64(rep.Bytes)
-		default:
-			ss.prefetched = mod
-			ss.prefetchedBytes = rep.Bytes
-			ss.prefetchedTime = rep.Time
-		}
-	case err == nil:
-		// The module was already resident when the stream was about to be
-		// planned (a racing real load beat us to it): nothing streamed,
-		// nothing to consume — and any rider paid its own configuration.
-		st.PrefetchCompleted++
-	default:
-		// Aborted by a real dispatch, or (defensively) a failed plan:
-		// whatever was streamed is waste by definition.
-		st.PrefetchAborted++
-		st.PrefetchWasted += uint64(rep.Bytes)
-	}
-	if !ss.busy {
-		// The slot is idle again (completed or abandoned stream with no
-		// real work waiting): a new dispatch round may find pending work it
-		// can now serve as a hit, or fresh prefetch opportunities.
-		s.dispatchLocked()
-	}
-}
-
-func (s *Scheduler) runBatch(ss *slotState, si int, batch []*request) {
-	if s.opts.Scrub {
-		// Scrub-on-dispatch: verify the slot's region before trusting its
-		// resident. The pass takes the member's lock — a speculative
-		// stream in flight on this slot is serialized out first, and an
-		// aborted one reads as already-demoted, never as a fresh fault.
-		rep := ss.m.Sys.ScrubOn(ss.ri)
-		s.mu.Lock()
-		s.stats.ScrubPasses++
-		if rep.Detected {
-			// The batch never ran: bounce it back to the head of the queue
-			// in order, take the slot out of service, and let dispatch
-			// place the requests elsewhere (or wait out the repair).
-			s.stats.Requeues += uint64(len(batch))
-			s.pending = append(append([]*request(nil), batch...), s.pending...)
-			s.quarantineLocked(ss, rep.Module)
-			ss.busy = false
-			s.dispatchLocked()
-			s.mu.Unlock()
-			return
-		}
-		s.mu.Unlock()
-	}
-	for _, req := range batch {
-		t := req.task
-		sys := ss.m.Sys
-		rep, err := sys.ExecuteOn(ss.ri, t.Module(), func() error { return t.Run(sys) })
-		res := Result{ID: req.id, Task: t.Name(), Module: t.Module(),
-			Member: ss.m.ID, Region: ss.ri, System: sys.Name, Report: rep, Err: err}
-		res.Seq = s.record(si, res)
-		req.ch <- res
-		s.wg.Done()
-	}
-	s.mu.Lock()
-	ss.busy = false
-	s.dispatchLocked()
-	s.mu.Unlock()
-}
-
-// runGroup runs one member's assignments of a dispatch round in order. In
-// DMA mode every head's stream Begins before any assignment settles, so
-// sibling regions' port windows overlap; then each assignment settles its
-// window, runs its batch and releases its slot on the member's serialized
-// timeline. On the CPU path the assignments simply run back to back.
-func (s *Scheduler) runGroup(group []assignment, dma bool) {
-	if !dma {
-		for _, a := range group {
-			s.runBatch(a.ss, a.si, a.batch)
-		}
-		return
-	}
-	tickets := make([]*platform.LoadTicket, len(group))
-	for i, a := range group {
-		tk, err := a.ss.m.Sys.BeginExecuteOn(a.ss.ri, a.batch[0].task.Module())
-		if err == nil {
-			tickets[i] = tk
-		}
-		// On a Begin error the ticket stays nil and the run phase falls
-		// back to the CPU path's ExecuteOn, which re-plans after the
-		// demotion and reports whatever happens through the normal path.
-	}
-	for i, a := range group {
-		s.runAssignment(a, tickets[i])
-	}
-}
-
-func (s *Scheduler) runAssignment(a assignment, tk *platform.LoadTicket) {
-	ss, si := a.ss, a.si
-	sys := ss.m.Sys
-	for bi, req := range a.batch {
-		t := req.task
-		var rep platform.ExecReport
-		var err error
-		if bi == 0 && tk != nil {
-			rep, err = sys.FinishExecuteOn(tk, func() error { return t.Run(sys) })
-		} else {
-			// Batch riders behind the head (and Begin-error fallbacks) take
-			// the ordinary load path — for riders a zero-stream cache hit.
-			rep, err = sys.ExecuteOn(ss.ri, t.Module(), func() error { return t.Run(sys) })
-		}
-		res := Result{ID: req.id, Task: t.Name(), Module: t.Module(),
-			Member: ss.m.ID, Region: ss.ri, System: sys.Name, Report: rep, Err: err}
-		res.Seq = s.record(si, res)
-		req.ch <- res
-		s.wg.Done()
-	}
-	s.mu.Lock()
-	ss.busy = false
-	s.dispatchLocked()
-	s.mu.Unlock()
-}
-
-// quarantineLocked takes a corruption-detected slot out of service and
-// launches its background repair. The scrub already demoted the region
-// through the §2.2 hazard gate, so the repair's reload streams a complete
-// configuration that overwrites every span frame — healing the flip is a
-// side effect of the same invariant that makes abort recovery safe.
-// Called with s.mu held.
-func (s *Scheduler) quarantineLocked(ss *slotState, module string) {
-	st := &s.stats
-	st.FaultsDetected++
-	ss.quarantined = true
-	ss.resident = ""
-	// A prefetched-but-unconsumed guess sat in the corrupted region: its
-	// bytes can never be consumed now, so they are waste — booked here,
-	// exactly once, keeping the speculative conservation law intact.
-	if ss.prefetched != "" {
-		st.PrefetchWasted += uint64(ss.prefetchedBytes)
-		ss.prefetched, ss.prefetchedBytes, ss.prefetchedTime = "", 0, 0
-	}
-	s.repairWG.Add(1)
-	go s.runRepair(ss, module)
-}
-
-// runRepair restores a quarantined slot off the request path: reload the
-// module the fault evicted (a complete stream, by the hazard gate), then
-// return the slot to service warm. A blank region needs no stream — its
-// next real load is complete by construction — so that repair is free.
-func (s *Scheduler) runRepair(ss *slotState, module string) {
-	defer s.repairWG.Done()
-	var rep platform.ConfigReport
-	var err error
-	if module != "" {
-		rep, err = ss.m.Sys.LoadModuleOn(ss.ri, module)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := &s.stats
-	st.Repairs++
-	st.RepairBytes += uint64(rep.Bytes)
-	st.RepairConfig += rep.Time
-	ss.quarantined = false
-	if module != "" && err == nil {
-		ss.resident = module
-	}
-	// Requests that queued up behind the quarantine can go out now.
-	s.dispatchLocked()
+	return agg
 }
 
 // ScrubAll runs one readback scrub pass over every idle slot — the
@@ -1029,102 +704,24 @@ func (s *Scheduler) runRepair(ss *slotState, module string) {
 // detection quarantines the slot and launches its background repair.
 // Returns how many corrupted slots the pass caught.
 func (s *Scheduler) ScrubAll() int {
-	s.mu.Lock()
-	var targets []*slotState
-	for _, ss := range s.slots {
-		if ss.busy || ss.specBusy || ss.quarantined || ss.scrubbing || !s.memberQuiet(ss.m) {
-			continue
-		}
-		targets = append(targets, ss)
-	}
-	// Mark after selecting: scrubbing flags make the member non-quiet, and
-	// sibling regions of one quiet member should both be scrubbed this
-	// pass (the passes serialize briefly on the member's lock).
-	for _, ss := range targets {
-		ss.scrubbing = true
-	}
-	s.mu.Unlock()
 	detected := 0
-	for _, ss := range targets {
-		rep := ss.m.Sys.ScrubOn(ss.ri)
-		s.mu.Lock()
-		ss.scrubbing = false
-		s.stats.ScrubPasses++
-		if rep.Detected {
-			detected++
-			s.quarantineLocked(ss, rep.Module)
-		}
-		s.dispatchLocked()
-		s.mu.Unlock()
+	for _, sh := range s.shards {
+		detected += sh.scrubAll()
 	}
 	return detected
 }
 
-func (s *Scheduler) record(si int, res Result) (seq uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := &s.stats
-	st.Done++
-	seq = st.Done
-	// Refresh the cached resident: a clean execution leaves its module
-	// configured and verified; after an error the region's content is not
-	// trustworthy, so the slot reads as blank (worst case, never unsafe —
-	// the manager's own hazard gate still guards the streams).
-	if res.Err == nil {
-		s.slots[si].resident = res.Module
-	} else {
-		s.slots[si].resident = ""
-	}
-	st.Config += res.Report.Config
-	st.Work += res.Report.Work
-	st.BusyTime[si] += res.Report.Latency()
-	st.BytesStreamed += uint64(res.Report.BytesStreamed)
-	m := st.Modules[res.Module]
-	m.Requests++
-	m.Config += res.Report.Config
-	m.Work += res.Report.Work
-	m.Bytes += uint64(res.Report.BytesStreamed)
-	switch res.Report.Kind {
-	case plan.StreamDifferential:
-		st.DiffLoads++
-		m.Diffs++
-	case plan.StreamComplete:
-		st.CompleteLoads++
-		m.Completes++
-	case plan.StreamCompressed:
-		st.CompressedLoads++
-		m.Compressed++
-	}
-	if res.Report.DMA && res.Report.Kind != plan.StreamNone {
-		st.DMALoads++
-	}
-	st.OverlapConfig += res.Report.ConfigHidden
-	if res.Report.CacheHit {
-		st.Hits++
-		m.Hits++
-	} else {
-		st.Misses++
-		m.Misses++
-	}
-	// Consume the slot's prefetched module: the first hit on it banks
-	// the speculative stream time as hidden; a real load replacing it
-	// books the speculative bytes as wasted.
-	if ss := s.slots[si]; ss.prefetched != "" {
-		switch {
-		case res.Report.CacheHit && res.Module == ss.prefetched:
-			st.PrefetchHits++
-			st.PrefetchConsumed += uint64(ss.prefetchedBytes)
-			st.HiddenConfig += ss.prefetchedTime
-			ss.prefetched, ss.prefetchedBytes, ss.prefetchedTime = "", 0, 0
-		case res.Report.Kind != plan.StreamNone:
-			st.PrefetchWasted += uint64(ss.prefetchedBytes)
-			ss.prefetched, ss.prefetchedBytes, ss.prefetchedTime = "", 0, 0
+// supported reports whether any slot of any shard can host the module.
+// Structural (lock-free), like shard.supportsModule.
+func (s *Scheduler) supported(module string) bool {
+	for _, sh := range s.shards {
+		if sh.supportsModule(module) {
+			return true
 		}
 	}
-	if res.Err != nil {
-		st.Errors++
-		m.Errors++
-	}
-	st.Modules[res.Module] = m
-	return seq
+	return false
+}
+
+func errUnsupported(module string) error {
+	return fmt.Errorf("sched: no slot supports module %q", module)
 }

@@ -1,0 +1,796 @@
+package sched
+
+import (
+	"sync"
+
+	"repro/internal/plan"
+	"repro/internal/platform"
+	"repro/internal/pool"
+	"repro/internal/sim"
+	"repro/internal/tasks"
+)
+
+// shard is one independently locked slice of the scheduler: a subset of the
+// pool's members (never splitting a member — sibling regions share one
+// serialized timeline, and the member-quiet and DMA-gang invariants assume
+// one owner), with its own run queue, dispatch tick, placement state and
+// statistics. With Options.Shards <= 1 the whole pool is one shard and
+// every code path below is exactly the pre-shard scheduler's — the
+// dispatch-order goldens pin that equivalence byte for byte.
+//
+// Locking rules: a shard's mu guards its own fields only. The one place two
+// shard locks are ever held together is stealLocked, and there the victim
+// is acquired with TryLock while the thief's lock is held — the thief never
+// blocks on a victim, so no lock-order cycle can form. Cross-shard
+// hot-path counters (submission IDs, completion sequence, in-flight count)
+// live as atomics on the Scheduler.
+type shard struct {
+	sc *Scheduler
+	id int
+
+	mu      sync.Mutex
+	pending []*request
+	slots   []*slotState
+	tick    uint64
+	// stats holds the shard-local slice of the aggregate counters; Slots
+	// and BusyTime are indexed by shard-local slot index and stitched back
+	// into pool order by Scheduler.Stats.
+	stats Stats
+	// stealTick rotates the victim scan start so repeated steals spread
+	// over the other shards instead of always draining the next neighbour.
+	stealTick uint64
+	// freeAt is the open-loop wall-clock overlay: per member, the simulated
+	// time its timeline frees up. Sibling regions serialize on the member's
+	// single kernel, so the overlay is per member, matching the S5 replay's
+	// k = members rationale.
+	freeAt map[*pool.Member]sim.Time
+}
+
+// supportsModule reports whether any of the shard's slots can host the
+// module. Structural only (fabric width and floorplan, via the lock-free
+// SupportsOn), so it is safe to call without the shard lock — the router
+// uses it to pick a target shard.
+func (sh *shard) supportsModule(module string) bool {
+	for _, ss := range sh.slots {
+		if ss.supports(module) {
+			return true
+		}
+	}
+	return false
+}
+
+// memberQuiet reports whether no slot of the member is executing or
+// streaming: only then is the member's lock free to take briefly for plan
+// sizing and restore estimates. Calls into a non-quiet member would block
+// the shard lock behind the sibling's entire simulated run. The member's
+// slots all live on this shard, so the shard-local scan is authoritative.
+func (sh *shard) memberQuiet(m *pool.Member) bool {
+	for _, ss := range sh.slots {
+		if ss.m == m && (ss.busy || ss.specBusy || ss.quarantined || ss.scrubbing) {
+			return false
+		}
+	}
+	return true
+}
+
+// submitLocked enqueues one request without dispatching. Called with sh.mu
+// held; unsupported modules fail immediately.
+func (sh *shard) submitLocked(t tasks.Runner, arrival sim.Time, openLoop bool) <-chan Result {
+	sc := sh.sc
+	ch := make(chan Result, 1)
+	sc.stopped.Store(false)
+	req := &request{id: sc.nextID.Add(1), task: t, ch: ch, arrival: arrival, openLoop: openLoop}
+	sc.requests.Add(1)
+	if sc.opts.Predictor != nil {
+		// Train on the arrival stream — including requests that fail below:
+		// the workload asked for the module either way.
+		sc.opts.Predictor.Observe(t.Module())
+	}
+	if !sc.supported(t.Module()) {
+		sc.done.Add(1)
+		sh.stats.Errors++
+		ms := sh.stats.Modules[t.Module()]
+		ms.Requests++
+		ms.Errors++
+		sh.stats.Modules[t.Module()] = ms
+		ch <- Result{ID: req.id, Task: t.Name(), Module: t.Module(),
+			Member: -1, Region: -1, Err: errUnsupported(t.Module())}
+		return ch
+	}
+	sc.wg.Add(1)
+	sc.inflight.Add(1)
+	sh.pending = append(sh.pending, req)
+	return ch
+}
+
+// dispatchLocked assigns as many pending requests as the idle slots
+// allow. Called with sh.mu held.
+//
+// Dispatch: scan pending in FIFO order; the first request with an eligible
+// idle slot is dispatched (later requests may only overtake it inside
+// the same-module batch window below, or when no idle slot supports its
+// module — e.g. a sha1 request waiting for a 64-bit slot while 32-bit
+// slots sit idle). Slot choice is delegated to the placement policy;
+// every built-in policy sends a request to a slot with the module
+// already resident when one is idle (cache hit) — including an idle
+// region of a board whose sibling region is busy, the conflict a
+// single-region pool must pay a miss for.
+//
+// When the scan finds nothing dispatchable and an idle slot remains, the
+// shard tries to steal queued work from a sibling shard — once per
+// dispatch round, so a failed steal cannot spin.
+func (sh *shard) dispatchLocked() {
+	sc := sh.sc
+	// Scrub-on-dispatch needs the CPU path's pre-execution pass, so DMA
+	// dispatch yields to it.
+	useDMA := sc.opts.DMA && !sc.opts.Scrub
+	var round []assignment
+	assigned := make(map[int]bool)
+	stole := false
+	for {
+		ri, si := sh.pickLocked(assigned)
+		if ri < 0 {
+			if !stole && len(sc.shards) > 1 && sh.idleSlotLocked() && sh.stealLocked() {
+				stole = true
+				continue
+			}
+			break
+		}
+		head := sh.pending[ri]
+		batch := []*request{head}
+		sh.pending = append(sh.pending[:ri], sh.pending[ri+1:]...)
+		// Pull queued same-module requests into the batch window.
+		for i := 0; i < len(sh.pending) && len(batch) < sc.opts.Batch; {
+			if sh.pending[i].task.Module() == head.task.Module() {
+				batch = append(batch, sh.pending[i])
+				sh.pending = append(sh.pending[:i], sh.pending[i+1:]...)
+				continue
+			}
+			i++
+		}
+		ss := sh.slots[si]
+		if ss.specBusy {
+			if ss.specModule != head.task.Module() {
+				// Preempt: the speculative stream parks at its next safe
+				// boundary; Execute then serializes behind it on the
+				// member's lock. Sibling regions' streams are left alone.
+				ss.specAbort.trigger()
+			} else {
+				// The dispatch rides the in-flight stream — the overlap
+				// paying off; the speculative goroutine credits the hit.
+				ss.specHitPending = true
+			}
+		}
+		ss.busy = true
+		ss.lastModule = head.task.Module()
+		sh.tick++
+		ss.lastUsed = sh.tick
+		assigned[ss.m.ID] = true
+		round = append(round, assignment{ss: ss, si: si, batch: batch})
+	}
+	if len(round) > 0 {
+		// One goroutine per member: a member's assignments of this round
+		// run in assignment order on its serialized timeline (so a
+		// multi-assignment round is deterministic), while different
+		// members' groups proceed independently. In DMA mode the group
+		// additionally Begins every head's stream back to back before any
+		// settles — sibling regions' port windows open together and
+		// overlap. A round launched one assignment at a time (the common
+		// case: requests arrive singly) behaves exactly as before.
+		var order []*pool.Member
+		byMember := make(map[*pool.Member][]assignment)
+		for _, a := range round {
+			if _, ok := byMember[a.ss.m]; !ok {
+				order = append(order, a.ss.m)
+			}
+			byMember[a.ss.m] = append(byMember[a.ss.m], a)
+		}
+		for _, m := range order {
+			go sh.runGroup(byMember[m], useDMA)
+		}
+	}
+	sh.prefetchLocked()
+}
+
+// idleSlotLocked reports whether the shard has a slot a stolen request
+// could be dispatched to. Called with sh.mu held.
+func (sh *shard) idleSlotLocked() bool {
+	for _, ss := range sh.slots {
+		if !ss.busy && !ss.quarantined && !ss.scrubbing {
+			return true
+		}
+	}
+	return false
+}
+
+// stealLocked pulls queued work from a sibling shard into this one.
+// Called with sh.mu held; the victim is acquired with TryLock only, so the
+// thief never blocks while holding its own lock (no deadlock by
+// construction — a victim busy with its own dispatch is simply skipped).
+// Stolen requests are the victim's oldest queue entries this shard can
+// host, capped at half the victim's queue (work stealing balances load, it
+// must not just relocate the backlog); their relative order is preserved
+// on both sides, so FIFO-per-tenant order within each shard survives the
+// move. Returns whether anything was stolen.
+func (sh *shard) stealLocked() bool {
+	shards := sh.sc.shards
+	n := len(shards)
+	for off := 1; off < n; off++ {
+		v := shards[(sh.id+int(sh.stealTick)+off)%n]
+		if v == sh || !v.mu.TryLock() {
+			continue
+		}
+		limit := (len(v.pending) + 1) / 2
+		var take []*request
+		kept := v.pending[:0]
+		for _, r := range v.pending {
+			if len(take) < limit && sh.supportsModule(r.task.Module()) {
+				take = append(take, r)
+			} else {
+				kept = append(kept, r)
+			}
+		}
+		v.pending = kept
+		v.mu.Unlock()
+		if len(take) > 0 {
+			sh.stealTick++
+			sh.pending = append(sh.pending, take...)
+			sh.stats.Steals++
+			sh.stats.StolenRequests += uint64(len(take))
+			return true
+		}
+	}
+	return false
+}
+
+// assignment is one dispatched (slot, batch) pair of a round.
+type assignment struct {
+	ss    *slotState
+	si    int
+	batch []*request
+}
+
+// pickLocked returns the indices of the first schedulable pending request
+// and its chosen slot, or (-1, -1). assigned holds the member IDs already
+// given an assignment in the current dispatch round (Candidate.GroupMate).
+func (sh *shard) pickLocked(assigned map[int]bool) (int, int) {
+	sc := sh.sc
+	for ri, req := range sh.pending {
+		mod := req.task.Module()
+		var cands []Candidate
+		hit := -1
+		for si, ss := range sh.slots {
+			if ss.busy || ss.quarantined || ss.scrubbing || !ss.supports(mod) {
+				continue
+			}
+			// For a speculating slot the view is the in-flight target: a
+			// matching request dispatched there rides the stream to a hit,
+			// a different one aborts it (see dispatchLocked).
+			c := Candidate{Index: si, Member: ss.m.ID, Region: ss.ri,
+				Resident: ss.residentView(), LastUsed: ss.lastUsed, Speculating: ss.specBusy,
+				GroupMate: assigned[ss.m.ID]}
+			if c.Resident == mod {
+				hit = si
+				break
+			}
+			cands = append(cands, c)
+		}
+		// Cache hit: dispatch there without consulting the policy (every
+		// built-in policy would pick it anyway), skipping the per-slot
+		// plan sizing below.
+		if hit >= 0 {
+			return ri, hit
+		}
+		for i := range cands {
+			// A speculating slot's plan cannot be sized without waiting
+			// out its stream, and a slot whose sibling region is executing
+			// or streaming cannot be sized without waiting out the member
+			// lock; leaving PlanOK false costs them as worst case, so
+			// policies prefer quiet slots and abort speculation only as a
+			// last resort.
+			if sc.planAware && !cands[i].Speculating {
+				ss := sh.slots[cands[i].Index]
+				if sh.memberQuiet(ss.m) {
+					if p, err := ss.m.Sys.PlanForOn(ss.ri, mod); err == nil {
+						cands[i].Plan, cands[i].PlanOK = p, true
+					}
+				}
+			}
+			if sc.opts.Predictor != nil {
+				cands[i].ReuseProb = sc.opts.Predictor.Prob(cands[i].Resident)
+			}
+		}
+		if len(cands) > 0 {
+			return ri, cands[sc.opts.Policy.Pick(mod, cands)].Index
+		}
+	}
+	return -1, -1
+}
+
+// prefetchLocked speculatively configures idle slots with the predictor's
+// next-module guesses. Called with sh.mu held at the end of every dispatch
+// round. For each ranked module not already resident (or in flight)
+// anywhere in the shard, the idle slot whose planner offers the cheapest
+// (resident → predicted) transition hosts the speculative load; at least
+// one slot is always left unspeculated so a miss for an unpredicted
+// module finds a quiet home. A busy slot is never a target, but an idle
+// region whose sibling is computing is — the stream interleaves with the
+// sibling's work on the member's serialized timeline, and the next
+// request for the guess hits warm fabric on an already-loaded board.
+// Slots carrying an unconsumed prefetch are skipped — replacing their
+// guess before anyone used it would only convert speculative bytes into
+// waste. Residency and the speculation budget are shard-local: sibling
+// shards may host their own copy of a hot module, which is by design —
+// each shard serves its own request stream.
+func (sh *shard) prefetchLocked() {
+	sc := sh.sc
+	if !sc.opts.Prefetch || sc.stopped.Load() || sc.opts.Predictor == nil {
+		return
+	}
+	speculating := 0
+	var idle []*slotState
+	for _, ss := range sh.slots {
+		if ss.specBusy {
+			speculating++
+			continue
+		}
+		// Only slots of quiet members are speculation targets this round:
+		// sizing a stream for a member whose sibling region is executing
+		// would block the shard lock behind that run. The member's
+		// release re-enters dispatchLocked, so deferred slots are
+		// revisited the moment the board frees up.
+		if !ss.busy && ss.prefetched == "" && sh.memberQuiet(ss.m) {
+			idle = append(idle, ss)
+		}
+	}
+	// At most half the shard's slots speculate at once: a miss for an
+	// unpredicted module must still find quiet slots to choose among, or
+	// placement degenerates to "the one slot not speculating" and the
+	// per-miss streams grow past what prefetch hits save.
+	limit := len(sh.slots) / 2
+	if limit < 1 {
+		limit = 1
+	}
+	if len(idle) == 0 || speculating >= limit {
+		return
+	}
+	// Modules already resident (or arriving) anywhere in the shard are not
+	// worth a second copy.
+	resident := make(map[string]bool, len(sh.slots))
+	for _, ss := range sh.slots {
+		resident[ss.residentView()] = true
+	}
+	candidates := sc.opts.Predictor.Rank(2 * len(sh.slots) * len(sh.slots))
+	// The eviction loss is constant per slot within the round; computing
+	// it once avoids per-candidate RestoreEstimate round trips through
+	// the members' locks (idle slots belong to quiet members, so those
+	// trips are brief).
+	loss := make(map[*slotState]float64, len(idle))
+	for _, ss := range idle {
+		if r := ss.resident; r != "" {
+			loss[ss] = sc.opts.Predictor.Prob(r) * float64(restoreBytes(ss, r))
+		}
+	}
+	for speculating < limit && len(idle) > 0 {
+		// Choose the (idle slot, predicted module) pair with the highest
+		// expected profit in stream bytes:
+		//
+		//   Prob(predicted) * restore(predicted) - Prob(resident) * restore(resident)
+		//
+		// where restore(x) is the planner's state-independent estimate of
+		// re-hosting x later. The first term is what a predicted hit saves;
+		// the second what evicting the resident costs when it is requested
+		// again. The gate is what keeps speculation from strip-mining
+		// affinity: a wide, occasionally-requested resident (sha1) beats a
+		// narrow frequent guess because every transition touching it
+		// streams its full width, while a blank or cold resident loses to
+		// any warm prediction. Only positive-profit speculation is issued.
+		bestIdle, bestMod, bestProfit, bestPlan := -1, "", 0.0, 0
+		for _, mod := range candidates {
+			if mod == "" || resident[mod] {
+				continue
+			}
+			prob := sc.opts.Predictor.Prob(mod)
+			if prob <= 0 {
+				continue
+			}
+			for i, ss := range idle {
+				if !ss.supports(mod) {
+					continue
+				}
+				// Sized per slot: restore estimates differ between the
+				// 32- and 64-bit fabrics (and between uneven regions).
+				save := prob * float64(restoreBytes(ss, mod))
+				profit := save - loss[ss]
+				if profit <= 0 || profit < bestProfit {
+					continue
+				}
+				// Only potential winners are stream-sized: PlanForOn breaks
+				// profit ties toward the cheaper speculative transition,
+				// and skipping the clear losers keeps the member-lock
+				// round trips under the shard lock proportional to
+				// improvements, not candidates.
+				pb := int(^uint(0) >> 1)
+				if p, err := ss.m.Sys.PlanForOn(ss.ri, mod); err == nil {
+					pb = p.Bytes
+				}
+				if profit > bestProfit || pb < bestPlan {
+					bestIdle, bestMod, bestProfit, bestPlan = i, mod, profit, pb
+				}
+			}
+		}
+		if bestIdle < 0 {
+			return
+		}
+		ss := idle[bestIdle]
+		// The launched stream holds the member's lock until it lands, so
+		// the member is no longer quiet: drop every sibling slot from the
+		// idle list too, or the next iteration's plan sizing would block
+		// the shard lock behind this stream.
+		kept := idle[:0]
+		for _, other := range idle {
+			if other.m != ss.m {
+				kept = append(kept, other)
+			}
+		}
+		idle = kept
+		resident[bestMod] = true
+		speculating++
+		ss.specBusy, ss.specModule = true, bestMod
+		ss.specAbort = &abortToken{}
+		sh.stats.PrefetchIssued++
+		sc.specWG.Add(1)
+		go sh.runSpeculative(ss, bestMod, ss.specAbort)
+	}
+}
+
+// restoreBytes is a slot's state-independent stream-size estimate for
+// hosting the module, with an unknown module costed as free (never worth
+// protecting or prefetching).
+func restoreBytes(ss *slotState, module string) int {
+	b, err := ss.m.Sys.RestoreEstimateOn(ss.ri, module)
+	if err != nil {
+		return 0
+	}
+	return b
+}
+
+// runSpeculative drives one speculative load to completion or abort and
+// records its outcome. Every speculative byte is booked exactly once:
+// either as waste (here, on abort or on a completed stream that outran
+// its abort) or as consumed (on the prefetch hit that uses it) or it
+// stays pending in the slot's prefetched fields until one of the two.
+func (sh *shard) runSpeculative(ss *slotState, mod string, tok *abortToken) {
+	defer sh.sc.specWG.Done()
+	rep, err := ss.m.Sys.LoadSpeculativeOn(ss.ri, mod, tok.aborted)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ss.specBusy, ss.specModule, ss.specAbort = false, "", nil
+	st := &sh.stats
+	st.PrefetchBytes += uint64(rep.Bytes)
+	st.PrefetchConfig += rep.Time
+	if rep.Bytes > 0 {
+		st.PrefetchLoads++
+	}
+	hitPending := ss.specHitPending
+	ss.specHitPending = false
+	// Refresh the cached resident — but only when the slot was neither
+	// preempted nor claimed: a triggered token means a real dispatch (or
+	// Wait) owns the slot's fate, and its record() may already have run,
+	// so writing here could clobber the authoritative value with stale
+	// state (the same ordering hazard the prefetched fields guard
+	// against). A skipped write can leave the cache conservatively stale
+	// after a Wait-time abort; the manager's live hazard gate still plans
+	// every stream correctly.
+	if !tok.aborted() && !ss.busy {
+		if err == nil {
+			ss.resident = mod
+		} else {
+			ss.resident = ""
+		}
+	}
+	switch {
+	case err == nil && rep.Kind != plan.StreamNone:
+		st.PrefetchCompleted++
+		switch {
+		case hitPending:
+			// A request is riding this stream to a hit right now.
+			st.PrefetchHits++
+			st.PrefetchConsumed += uint64(rep.Bytes)
+			st.HiddenConfig += rep.Time
+		case tok.aborted():
+			// The stream outran its abort: a dispatch for a different
+			// module (or Wait) claimed the slot while the last words
+			// were going out. The guessed resident is about to be
+			// overwritten — marking it prefetched now could outlive the
+			// preempting load's record and starve the slot, so the
+			// bytes are waste directly.
+			st.PrefetchWasted += uint64(rep.Bytes)
+		default:
+			ss.prefetched = mod
+			ss.prefetchedBytes = rep.Bytes
+			ss.prefetchedTime = rep.Time
+		}
+	case err == nil:
+		// The module was already resident when the stream was about to be
+		// planned (a racing real load beat us to it): nothing streamed,
+		// nothing to consume — and any rider paid its own configuration.
+		st.PrefetchCompleted++
+	default:
+		// Aborted by a real dispatch, or (defensively) a failed plan:
+		// whatever was streamed is waste by definition.
+		st.PrefetchAborted++
+		st.PrefetchWasted += uint64(rep.Bytes)
+	}
+	if !ss.busy {
+		// The slot is idle again (completed or abandoned stream with no
+		// real work waiting): a new dispatch round may find pending work it
+		// can now serve as a hit, or fresh prefetch opportunities.
+		sh.dispatchLocked()
+	}
+}
+
+func (sh *shard) runBatch(ss *slotState, si int, batch []*request) {
+	sc := sh.sc
+	if sc.opts.Scrub {
+		// Scrub-on-dispatch: verify the slot's region before trusting its
+		// resident. The pass takes the member's lock — a speculative
+		// stream in flight on this slot is serialized out first, and an
+		// aborted one reads as already-demoted, never as a fresh fault.
+		rep := ss.m.Sys.ScrubOn(ss.ri)
+		sh.mu.Lock()
+		sh.stats.ScrubPasses++
+		if rep.Detected {
+			// The batch never ran: bounce it back to the head of the queue
+			// in order, take the slot out of service, and let dispatch
+			// place the requests elsewhere (or wait out the repair).
+			sh.stats.Requeues += uint64(len(batch))
+			sh.pending = append(append([]*request(nil), batch...), sh.pending...)
+			sh.quarantineLocked(ss, rep.Module)
+			ss.busy = false
+			sh.dispatchLocked()
+			sh.mu.Unlock()
+			return
+		}
+		sh.mu.Unlock()
+	}
+	for _, req := range batch {
+		t := req.task
+		sys := ss.m.Sys
+		rep, err := sys.ExecuteOn(ss.ri, t.Module(), func() error { return t.Run(sys) })
+		res := Result{ID: req.id, Task: t.Name(), Module: t.Module(),
+			Member: ss.m.ID, Region: ss.ri, System: sys.Name, Report: rep, Err: err}
+		sh.record(si, &res, req)
+		req.ch <- res
+		sc.inflight.Add(-1)
+		sc.wg.Done()
+	}
+	sh.mu.Lock()
+	ss.busy = false
+	sh.dispatchLocked()
+	sh.mu.Unlock()
+}
+
+// runGroup runs one member's assignments of a dispatch round in order. In
+// DMA mode every head's stream Begins before any assignment settles, so
+// sibling regions' port windows overlap; then each assignment settles its
+// window, runs its batch and releases its slot on the member's serialized
+// timeline. On the CPU path the assignments simply run back to back.
+func (sh *shard) runGroup(group []assignment, dma bool) {
+	if !dma {
+		for _, a := range group {
+			sh.runBatch(a.ss, a.si, a.batch)
+		}
+		return
+	}
+	tickets := make([]*platform.LoadTicket, len(group))
+	for i, a := range group {
+		tk, err := a.ss.m.Sys.BeginExecuteOn(a.ss.ri, a.batch[0].task.Module())
+		if err == nil {
+			tickets[i] = tk
+		}
+		// On a Begin error the ticket stays nil and the run phase falls
+		// back to the CPU path's ExecuteOn, which re-plans after the
+		// demotion and reports whatever happens through the normal path.
+	}
+	for i, a := range group {
+		sh.runAssignment(a, tickets[i])
+	}
+}
+
+func (sh *shard) runAssignment(a assignment, tk *platform.LoadTicket) {
+	sc := sh.sc
+	ss, si := a.ss, a.si
+	sys := ss.m.Sys
+	for bi, req := range a.batch {
+		t := req.task
+		var rep platform.ExecReport
+		var err error
+		if bi == 0 && tk != nil {
+			rep, err = sys.FinishExecuteOn(tk, func() error { return t.Run(sys) })
+		} else {
+			// Batch riders behind the head (and Begin-error fallbacks) take
+			// the ordinary load path — for riders a zero-stream cache hit.
+			rep, err = sys.ExecuteOn(ss.ri, t.Module(), func() error { return t.Run(sys) })
+		}
+		res := Result{ID: req.id, Task: t.Name(), Module: t.Module(),
+			Member: ss.m.ID, Region: ss.ri, System: sys.Name, Report: rep, Err: err}
+		sh.record(si, &res, req)
+		req.ch <- res
+		sc.inflight.Add(-1)
+		sc.wg.Done()
+	}
+	sh.mu.Lock()
+	ss.busy = false
+	sh.dispatchLocked()
+	sh.mu.Unlock()
+}
+
+// quarantineLocked takes a corruption-detected slot out of service and
+// launches its background repair. The scrub already demoted the region
+// through the §2.2 hazard gate, so the repair's reload streams a complete
+// configuration that overwrites every span frame — healing the flip is a
+// side effect of the same invariant that makes abort recovery safe.
+// Called with sh.mu held.
+func (sh *shard) quarantineLocked(ss *slotState, module string) {
+	st := &sh.stats
+	st.FaultsDetected++
+	ss.quarantined = true
+	ss.resident = ""
+	// A prefetched-but-unconsumed guess sat in the corrupted region: its
+	// bytes can never be consumed now, so they are waste — booked here,
+	// exactly once, keeping the speculative conservation law intact.
+	if ss.prefetched != "" {
+		st.PrefetchWasted += uint64(ss.prefetchedBytes)
+		ss.prefetched, ss.prefetchedBytes, ss.prefetchedTime = "", 0, 0
+	}
+	sh.sc.repairWG.Add(1)
+	go sh.runRepair(ss, module)
+}
+
+// runRepair restores a quarantined slot off the request path: reload the
+// module the fault evicted (a complete stream, by the hazard gate), then
+// return the slot to service warm. A blank region needs no stream — its
+// next real load is complete by construction — so that repair is free.
+func (sh *shard) runRepair(ss *slotState, module string) {
+	defer sh.sc.repairWG.Done()
+	var rep platform.ConfigReport
+	var err error
+	if module != "" {
+		rep, err = ss.m.Sys.LoadModuleOn(ss.ri, module)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := &sh.stats
+	st.Repairs++
+	st.RepairBytes += uint64(rep.Bytes)
+	st.RepairConfig += rep.Time
+	ss.quarantined = false
+	if module != "" && err == nil {
+		ss.resident = module
+	}
+	// Requests that queued up behind the quarantine can go out now.
+	sh.dispatchLocked()
+}
+
+// scrubAll runs one readback scrub pass over the shard's idle slots; see
+// Scheduler.ScrubAll.
+func (sh *shard) scrubAll() int {
+	sh.mu.Lock()
+	var targets []*slotState
+	for _, ss := range sh.slots {
+		if ss.busy || ss.specBusy || ss.quarantined || ss.scrubbing || !sh.memberQuiet(ss.m) {
+			continue
+		}
+		targets = append(targets, ss)
+	}
+	// Mark after selecting: scrubbing flags make the member non-quiet, and
+	// sibling regions of one quiet member should both be scrubbed this
+	// pass (the passes serialize briefly on the member's lock).
+	for _, ss := range targets {
+		ss.scrubbing = true
+	}
+	sh.mu.Unlock()
+	detected := 0
+	for _, ss := range targets {
+		rep := ss.m.Sys.ScrubOn(ss.ri)
+		sh.mu.Lock()
+		ss.scrubbing = false
+		sh.stats.ScrubPasses++
+		if rep.Detected {
+			detected++
+			sh.quarantineLocked(ss, rep.Module)
+		}
+		sh.dispatchLocked()
+		sh.mu.Unlock()
+	}
+	return detected
+}
+
+// record books one completed request into the shard's counters, assigns
+// its pool-wide completion sequence, and (for open-loop submissions)
+// computes its wall-clock sojourn. Fills res.Seq and the open-loop fields
+// in place.
+func (sh *shard) record(si int, res *Result, req *request) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := &sh.stats
+	res.Seq = sh.sc.done.Add(1)
+	ss := sh.slots[si]
+	// Refresh the cached resident: a clean execution leaves its module
+	// configured and verified; after an error the region's content is not
+	// trustworthy, so the slot reads as blank (worst case, never unsafe —
+	// the manager's own hazard gate still guards the streams).
+	if res.Err == nil {
+		ss.resident = res.Module
+	} else {
+		ss.resident = ""
+	}
+	if req.openLoop {
+		// The open-loop wall-clock overlay: the request starts when it has
+		// both arrived and found its member's timeline free; sibling
+		// regions serialize on the member's single kernel, so the overlay
+		// is per member. Sojourn is queue wait plus service — the latency
+		// dimension the per-member simulated-time model cannot see.
+		start := req.arrival
+		if f := sh.freeAt[ss.m]; f > start {
+			start = f
+		}
+		done := start + res.Report.Latency()
+		sh.freeAt[ss.m] = done
+		res.Arrival, res.Start, res.DoneAt = req.arrival, start, done
+		res.Sojourn = done - req.arrival
+		sh.sc.clock.Advance(done)
+	}
+	st.Config += res.Report.Config
+	st.Work += res.Report.Work
+	st.BusyTime[si] += res.Report.Latency()
+	st.BytesStreamed += uint64(res.Report.BytesStreamed)
+	m := st.Modules[res.Module]
+	m.Requests++
+	m.Config += res.Report.Config
+	m.Work += res.Report.Work
+	m.Bytes += uint64(res.Report.BytesStreamed)
+	switch res.Report.Kind {
+	case plan.StreamDifferential:
+		st.DiffLoads++
+		m.Diffs++
+	case plan.StreamComplete:
+		st.CompleteLoads++
+		m.Completes++
+	case plan.StreamCompressed:
+		st.CompressedLoads++
+		m.Compressed++
+	}
+	if res.Report.DMA && res.Report.Kind != plan.StreamNone {
+		st.DMALoads++
+	}
+	st.OverlapConfig += res.Report.ConfigHidden
+	if res.Report.CacheHit {
+		st.Hits++
+		m.Hits++
+	} else {
+		st.Misses++
+		m.Misses++
+	}
+	// Consume the slot's prefetched module: the first hit on it banks
+	// the speculative stream time as hidden; a real load replacing it
+	// books the speculative bytes as wasted.
+	if ss.prefetched != "" {
+		switch {
+		case res.Report.CacheHit && res.Module == ss.prefetched:
+			st.PrefetchHits++
+			st.PrefetchConsumed += uint64(ss.prefetchedBytes)
+			st.HiddenConfig += ss.prefetchedTime
+			ss.prefetched, ss.prefetchedBytes, ss.prefetchedTime = "", 0, 0
+		case res.Report.Kind != plan.StreamNone:
+			st.PrefetchWasted += uint64(ss.prefetchedBytes)
+			ss.prefetched, ss.prefetchedBytes, ss.prefetchedTime = "", 0, 0
+		}
+	}
+	if res.Err != nil {
+		st.Errors++
+		m.Errors++
+	}
+	st.Modules[res.Module] = m
+}

@@ -1,0 +1,30 @@
+package sim
+
+import "sync/atomic"
+
+// WallClock is a monotonic simulated wall clock shared across member
+// timelines. Each member's Kernel owns a private timeline that only moves
+// while that member executes; the wall clock stitches those independent
+// timelines into one pool-wide "now" for open-loop driving: every
+// completion advances it to the completing request's simulated finish
+// time, and it never moves backwards. All methods are lock-free and safe
+// for concurrent use from any goroutine.
+type WallClock struct{ t atomic.Uint64 }
+
+// Now returns the current pool-wide simulated time.
+func (c *WallClock) Now() Time { return Time(c.t.Load()) }
+
+// Advance moves the clock forward to at least `to` and returns the clock's
+// resulting value. A stale advance (to earlier than the clock) is a no-op
+// — concurrent completions land in any order, the clock keeps the maximum.
+func (c *WallClock) Advance(to Time) Time {
+	for {
+		cur := c.t.Load()
+		if uint64(to) <= cur {
+			return Time(cur)
+		}
+		if c.t.CompareAndSwap(cur, uint64(to)) {
+			return to
+		}
+	}
+}
