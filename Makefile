@@ -1,4 +1,4 @@
-.PHONY: build test race vet fmt bench benchgate fuzz regionsmoke faultsmoke compresssmoke scalesmoke profile replay gobench sim sched
+.PHONY: build test race vet fmt fmtcheck bench benchgate benchboard benchboard-md fuzz regionsmoke faultsmoke compresssmoke scalesmoke profile replay gobench sim sched
 
 build:
 	go build ./...
@@ -16,6 +16,8 @@ vet:
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
+fmtcheck: fmt
+
 # Write the scheduler perf trajectory: the S2 placement comparison
 # (complete-only vs planner-backed, lru vs mincost), the S3 prefetch
 # comparison (visible config time with and without speculative loads), the
@@ -26,12 +28,14 @@ fmt:
 # with scrubbing) and the S8 load-path comparison (complete vs diff vs
 # compressed vs compressed+DMA) on the seeded 60-request mixed workload,
 # as tables on stdout and BENCH_sched.json. Each refresh is also archived
-# under artifacts/bench keyed by the current commit, so the per-commit
-# perf trajectory survives baseline rewrites.
+# under artifacts/bench keyed by the current commit, and every record's
+# metrics are appended to the per-commit history store that cmd/benchboard
+# plots, so the perf trajectory survives baseline rewrites.
 bench:
-	go run ./cmd/fpgad -compare -json BENCH_sched.json -sys32 2 -sys64 2 -n 60 -seed 7 -batch 4 \
-		-mix "sha1=1,jenkins=2,patternmatch=1,brightness=2,blend=2,fade=2,transfer=1"
 	mkdir -p artifacts/bench
+	go run ./cmd/fpgad -compare -json BENCH_sched.json -sys32 2 -sys64 2 -n 60 -seed 7 -batch 4 \
+		-mix "sha1=1,jenkins=2,patternmatch=1,brightness=2,blend=2,fade=2,transfer=1" \
+		-history artifacts/bench/history.jsonl -sha $$(git rev-parse --short HEAD)
 	cp BENCH_sched.json artifacts/bench/BENCH_sched.$$(git rev-parse --short HEAD).json
 
 # CI bench-regression gate: rerun the comparison into a scratch file and
@@ -44,10 +48,26 @@ bench:
 # an intended perf change, run `make bench` and commit the refreshed
 # baseline.
 benchgate:
+	mkdir -p artifacts/bench
 	go run ./cmd/fpgad -compare -json BENCH_fresh.json -sys32 2 -sys64 2 -n 60 -seed 7 -batch 4 \
 		-mix "sha1=1,jenkins=2,patternmatch=1,brightness=2,blend=2,fade=2,transfer=1"
-	go run ./cmd/benchdiff -baseline BENCH_sched.json -fresh BENCH_fresh.json -max-regress 15; \
+	go run ./cmd/benchdiff -baseline BENCH_sched.json -fresh BENCH_fresh.json -max-regress 15 \
+		-history artifacts/bench/history.jsonl -sha $$(git rev-parse --short HEAD); \
 		rc=$$?; rm -f BENCH_fresh.json; exit $$rc
+
+# Serve the perf-trajectory dashboard: per-commit config-time /
+# wire-bytes / availability / sustained-rate curves from the history
+# store, regression points ringed by the same band math as the gate.
+benchboard:
+	go run ./cmd/benchboard -extract
+	go run ./cmd/benchboard -serve localhost:8321
+
+# Render the trajectory statically: lift any archived snapshots into the
+# history store, then write the markdown table and one SVG per
+# (suite, metric) under artifacts/bench/board (uploaded by CI).
+benchboard-md:
+	go run ./cmd/benchboard -extract \
+		-md artifacts/bench/board/TRAJECTORY.md -svg artifacts/bench/board
 
 # Fuzz smoke: the loader must reject damaged differential streams without
 # wedging (CRC or state-machine error, never silent misconfiguration),

@@ -1,0 +1,198 @@
+// Command benchboard turns the append-only per-commit metric history
+// (artifacts/bench/history.jsonl) into the repo's perf trajectory — the
+// config-time / wire-bytes / availability / sustained-rate curves across
+// commits that a single BENCH_sched.json snapshot cannot show.
+//
+//   - -extract walks the archived per-commit snapshots
+//     (artifacts/bench/BENCH_sched.<sha>.json) and appends any metrics
+//     the history does not hold yet, so the store can be rebuilt from
+//     snapshots at any time (idempotent: re-running appends nothing).
+//
+//   - -md renders a static EXPERIMENTS-style trajectory table per suite
+//     and metric; -svg writes one chart per (suite, metric) beside it.
+//
+//   - -serve starts a small HTTP server plotting the same charts as
+//     inline SVG, one polyline per configuration label, re-reading the
+//     history on every request.
+//
+// Regression annotation comes from the same band math as the CI gate
+// (internal/bench/gate): a point that would fail cmd/benchdiff's
+// tolerance against its predecessor is flagged, as is any point whose
+// recorded benchdiff verdict was "fail".
+//
+// Usage:
+//
+//	benchboard -extract
+//	benchboard -extract -md artifacts/bench/board/TRAJECTORY.md -svg artifacts/bench/board
+//	benchboard -serve localhost:8321
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/bench/gate"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("benchboard", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	historyPath := fs.String("history", "artifacts/bench/history.jsonl", "per-commit metric history (JSONL)")
+	extract := fs.Bool("extract", false, "lift archived snapshots into the history file")
+	snapshots := fs.String("snapshots", "artifacts/bench", "snapshot directory for -extract (BENCH_sched.<sha>.json)")
+	mdPath := fs.String("md", "", "render the trajectory as a markdown table to this file")
+	svgDir := fs.String("svg", "", "write one SVG chart per (suite, metric) into this directory")
+	serveAddr := fs.String("serve", "", "serve the trajectory dashboard on this address (e.g. localhost:8321)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if !*extract && *mdPath == "" && *svgDir == "" && *serveAddr == "" {
+		fmt.Fprintln(errw, "benchboard: nothing to do — pass -extract, -md, -svg and/or -serve")
+		return 2
+	}
+	if *extract {
+		added, files, err := extractSnapshots(*historyPath, *snapshots)
+		if err != nil {
+			fmt.Fprintln(errw, "benchboard:", err)
+			return 1
+		}
+		fmt.Fprintf(out, "extracted %d snapshot(s): %d new metric(s) appended to %s\n", files, added, *historyPath)
+	}
+	if *mdPath != "" || *svgDir != "" {
+		charts, skipped, err := loadCharts(*historyPath)
+		if err != nil {
+			fmt.Fprintln(errw, "benchboard:", err)
+			return 1
+		}
+		if skipped > 0 {
+			fmt.Fprintf(out, "benchboard: skipped %d damaged history line(s)\n", skipped)
+		}
+		if len(charts) == 0 {
+			fmt.Fprintf(errw, "benchboard: %s holds no metrics — run -extract or `make bench` first\n", *historyPath)
+			return 1
+		}
+		if *mdPath != "" {
+			if err := writeMarkdown(*mdPath, charts); err != nil {
+				fmt.Fprintln(errw, "benchboard:", err)
+				return 1
+			}
+			fmt.Fprintf(out, "wrote %s (%d chart(s))\n", *mdPath, len(charts))
+		}
+		if *svgDir != "" {
+			if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+				fmt.Fprintln(errw, "benchboard:", err)
+				return 1
+			}
+			for _, c := range charts {
+				path := filepath.Join(*svgDir, c.fileName()+".svg")
+				if err := os.WriteFile(path, []byte(c.svg()), 0o644); err != nil {
+					fmt.Fprintln(errw, "benchboard:", err)
+					return 1
+				}
+			}
+			fmt.Fprintf(out, "wrote %d chart(s) to %s\n", len(charts), *svgDir)
+		}
+	}
+	if *serveAddr != "" {
+		fmt.Fprintf(out, "benchboard: serving http://%s/ from %s\n", *serveAddr, *historyPath)
+		if err := http.ListenAndServe(*serveAddr, boardHandler(*historyPath)); err != nil {
+			fmt.Fprintln(errw, "benchboard:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// snapshotRe matches archived per-commit snapshots.
+var snapshotRe = regexp.MustCompile(`^BENCH_sched\.([0-9a-f]{6,40})\.json$`)
+
+// extractSnapshots lifts every archived snapshot's metrics into the
+// history, in commit order where git can resolve it (filename order
+// otherwise), skipping (sha, suite, metric) keys the history already
+// holds so re-extraction is idempotent.
+func extractSnapshots(historyPath, dir string) (added, files int, err error) {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	var shas []string
+	for _, e := range names {
+		if m := snapshotRe.FindStringSubmatch(e.Name()); m != nil {
+			shas = append(shas, m[1])
+		}
+	}
+	sort.Strings(shas)
+	shas = gitOrder(dir, shas)
+	existing, _, err := gate.LoadEntries(historyPath)
+	if err != nil {
+		return 0, 0, err
+	}
+	seen := make(map[string]bool, len(existing))
+	for _, e := range existing {
+		if e.Verdict == "" {
+			seen[e.SHA+"\x00"+e.Suite+"\x00"+e.Metric] = true
+		}
+	}
+	for _, sha := range shas {
+		data, err := os.ReadFile(filepath.Join(dir, "BENCH_sched."+sha+".json"))
+		if err != nil {
+			return added, files, err
+		}
+		recs, err := bench.DecodeRecords(data)
+		if err != nil {
+			return added, files, fmt.Errorf("%s: %w", sha, err)
+		}
+		files++
+		var fresh []gate.Entry
+		for _, e := range bench.NewWriter(recs...).HistoryEntries(sha) {
+			k := e.SHA + "\x00" + e.Suite + "\x00" + e.Metric
+			if !seen[k] {
+				seen[k] = true
+				fresh = append(fresh, e)
+			}
+		}
+		if err := gate.AppendEntries(historyPath, fresh); err != nil {
+			return added, files, err
+		}
+		added += len(fresh)
+	}
+	return added, files, nil
+}
+
+// gitOrder sorts short SHAs into first-parent commit order when the
+// directory sits inside a git checkout that knows them; SHAs git cannot
+// resolve (and the whole list, outside a checkout) keep their incoming
+// order at the front — oldest-first extraction only needs to be stable,
+// not perfect.
+func gitOrder(dir string, shas []string) []string {
+	cmd := exec.Command("git", "-C", dir, "rev-list", "--first-parent", "--reverse", "HEAD")
+	raw, err := cmd.Output()
+	if err != nil {
+		return shas
+	}
+	pos := make(map[string]int, len(shas))
+	for i, full := range strings.Fields(string(raw)) {
+		for _, s := range shas {
+			if strings.HasPrefix(full, s) {
+				pos[s] = i + 1
+			}
+		}
+	}
+	ordered := append([]string(nil), shas...)
+	sort.SliceStable(ordered, func(i, j int) bool { return pos[ordered[i]] < pos[ordered[j]] })
+	return ordered
+}

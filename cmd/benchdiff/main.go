@@ -8,10 +8,17 @@
 // bench grows). A perf improvement is reported as a negative delta — and
 // is the cue to re-commit the baseline so the win is locked in.
 //
+// The band math lives in internal/bench/gate, shared with cmd/benchboard
+// so a dashboard annotation and a gate verdict can never disagree. With
+// -history (plus -sha), every comparison's verdict is appended to the
+// per-commit history store benchboard plots.
+//
 // Usage:
 //
 //	benchdiff -baseline BENCH_sched.json -fresh BENCH_fresh.json
 //	benchdiff -baseline BENCH_sched.json -fresh BENCH_fresh.json -max-regress 10
+//	benchdiff -baseline BENCH_sched.json -fresh BENCH_fresh.json \
+//	    -history artifacts/bench/history.jsonl -sha abc1234
 package main
 
 import (
@@ -21,6 +28,8 @@ import (
 	"io"
 	"os"
 	"sort"
+
+	"repro/internal/bench/gate"
 )
 
 // record is the subset of bench.PlacementRecord the gate reads. Records
@@ -45,8 +54,12 @@ func run(args []string, out, errw io.Writer) int {
 	fs.SetOutput(errw)
 	basePath := fs.String("baseline", "BENCH_sched.json", "committed baseline records")
 	freshPath := fs.String("fresh", "", "fresh bench records to gate")
-	maxRegress := fs.Float64("max-regress", 15,
+	maxRegress := fs.Float64("max-regress", gate.DefaultTolerancePct,
 		"max allowed regression in percent, per configuration and metric")
+	historyPath := fs.String("history", "",
+		"append each comparison's verdict to this per-commit history file (JSONL; plotted by cmd/benchboard)")
+	shaFlag := fs.String("sha", "",
+		"commit id keying the -history entries (required with -history)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -55,6 +68,10 @@ func run(args []string, out, errw io.Writer) int {
 	}
 	if *freshPath == "" {
 		fmt.Fprintln(errw, "benchdiff: -fresh is required")
+		return 2
+	}
+	if *historyPath != "" && *shaFlag == "" {
+		fmt.Fprintln(errw, "benchdiff: -history needs -sha (the commit id keying the entries)")
 		return 2
 	}
 	base, err := load(*basePath)
@@ -84,6 +101,7 @@ func run(args []string, out, errw io.Writer) int {
 	}
 	sort.Strings(keys)
 
+	var verdicts []gate.Entry
 	failures := 0
 	for _, k := range keys {
 		b := baseBy[k]
@@ -98,41 +116,58 @@ func run(args []string, out, errw io.Writer) int {
 			allowed = b.TolerancePct
 		}
 		for _, m := range []struct {
-			name      string
+			name      string // display name (historic output format)
+			metric    string // history metric name (the JSON field)
 			base, now float64
 			unit      string
 			zeroEps   float64
 		}{
-			{"config time", b.ConfigMs, f.ConfigMs, "ms", 0.01},
-			{"bytes streamed", float64(b.BytesStreamed), float64(f.BytesStreamed), "B", 0},
+			{"config time", "config_ms", b.ConfigMs, f.ConfigMs, "ms", gate.ConfigMsZeroEps},
+			{"bytes streamed", "bytes_streamed", float64(b.BytesStreamed), float64(f.BytesStreamed), "B", gate.BytesZeroEps},
 		} {
+			v := gate.Check(m.base, m.now, allowed, m.zeroEps)
 			status := "ok  "
-			if m.base == 0 {
-				// A percentage of zero is undefined: whatever tolerance band
-				// the record carries, scaling it by a zero baseline would
-				// admit nothing or (mapped to a fixed percent) admit
-				// arbitrary absolute growth under a wide band. Gate the
-				// absolute delta instead, against a per-metric epsilon.
-				if m.now > m.zeroEps {
-					status = "FAIL"
-					failures++
-				}
-				fmt.Fprintf(out, "%s %-32s %-14s %12.3f %s -> %12.3f %s  (zero baseline, allowed +%.3g %s absolute)\n",
-					status, k, m.name, m.base, m.unit, m.now, m.unit, m.zeroEps, m.unit)
-				continue
-			}
-			delta := 100 * (m.now - m.base) / m.base
-			if delta > allowed {
+			if !v.Pass {
 				status = "FAIL"
 				failures++
 			}
-			fmt.Fprintf(out, "%s %-32s %-14s %12.3f %s -> %12.3f %s  (%+.1f%%, allowed +%.0f%%)\n",
-				status, k, m.name, m.base, m.unit, m.now, m.unit, delta, allowed)
+			if v.Zero {
+				// A percentage of zero is undefined, so the zero-baseline
+				// rows gate the absolute delta (see internal/bench/gate).
+				fmt.Fprintf(out, "%s %-32s %-14s %12.3f %s -> %12.3f %s  (zero baseline, allowed +%.3g %s absolute)\n",
+					status, k, m.name, m.base, m.unit, m.now, m.unit, v.Allowed, m.unit)
+			} else {
+				fmt.Fprintf(out, "%s %-32s %-14s %12.3f %s -> %12.3f %s  (%+.1f%%, allowed +%.0f%%)\n",
+					status, k, m.name, m.base, m.unit, m.now, m.unit, v.DeltaPct, v.Allowed)
+			}
+			if *historyPath != "" {
+				verdict := "ok"
+				if !v.Pass {
+					verdict = "fail"
+				}
+				verdicts = append(verdicts, gate.Entry{
+					SHA:           *shaFlag,
+					Suite:         f.Table,
+					Metric:        f.Label + "/" + m.metric,
+					Value:         m.now,
+					Unit:          m.unit,
+					Deterministic: gate.SuiteDeterministic(f.Table),
+					TolerancePct:  b.TolerancePct,
+					Verdict:       verdict,
+					DeltaPct:      v.DeltaPct,
+				})
+			}
 		}
 	}
 	for _, r := range fresh {
 		if _, ok := baseBy[key(r)]; !ok {
 			fmt.Fprintf(out, "new  %-32s (not in baseline; commit the fresh records to start gating it)\n", key(r))
+		}
+	}
+	if *historyPath != "" {
+		if err := gate.AppendEntries(*historyPath, verdicts); err != nil {
+			fmt.Fprintln(errw, "benchdiff:", err)
+			return 2
 		}
 	}
 	if failures > 0 {

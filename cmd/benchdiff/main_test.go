@@ -1,6 +1,8 @@
 package main
 
 import (
+	"repro/internal/bench/gate"
+
 	"bytes"
 	"os"
 	"path/filepath"
@@ -223,5 +225,54 @@ func TestZeroBaselineGating(t *testing.T) {
 				t.Errorf("stdout missing %q:\n%s", tc.wantOut, out.String())
 			}
 		})
+	}
+}
+
+// TestHistoryVerdicts: with -history/-sha, every comparison's verdict
+// lands in the per-commit store — the same entries cmd/benchboard reads
+// so a dashboard flag and a gate verdict can never disagree.
+func TestHistoryVerdicts(t *testing.T) {
+	dir := t.TempDir()
+	b := write(t, dir, "base.json", baseline)
+	f := write(t, dir, "fresh.json", `[
+	  {"table":"S2","label":"mincost+planner","config_ms":33.0,"bytes_streamed":2000000},
+	  {"table":"S3","label":"mincost+prefetch-freq","config_ms":30.0,"bytes_streamed":1310000}
+	]`)
+	history := filepath.Join(dir, "history.jsonl")
+	var out, errw bytes.Buffer
+	code := run([]string{"-baseline", b, "-fresh", f, "-history", history, "-sha", "abc1234"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (S3 config time regressed +58%%)", code)
+	}
+	entries, skipped, err := gate.LoadEntries(history)
+	if err != nil || skipped != 0 {
+		t.Fatalf("load history: err=%v skipped=%d", err, skipped)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("%d history entries, want 2 records x 2 metrics", len(entries))
+	}
+	byMetric := make(map[string]gate.Entry)
+	for _, e := range entries {
+		if e.SHA != "abc1234" || e.Verdict == "" {
+			t.Errorf("entry %+v: want sha abc1234 and a verdict", e)
+		}
+		byMetric[e.Suite+"/"+e.Metric] = e
+	}
+	if e := byMetric["S3/mincost+prefetch-freq/config_ms"]; e.Verdict != "fail" || !e.Deterministic {
+		t.Errorf("regressed S3 row recorded as %+v, want deterministic fail", e)
+	}
+	if e := byMetric["S2/mincost+planner/config_ms"]; e.Verdict != "ok" || e.Deterministic {
+		t.Errorf("passing S2 row recorded as %+v, want host-dependent ok", e)
+	}
+}
+
+// TestHistoryNeedsSha: -history without -sha is a usage error.
+func TestHistoryNeedsSha(t *testing.T) {
+	dir := t.TempDir()
+	b := write(t, dir, "base.json", baseline)
+	var out, errw bytes.Buffer
+	code := run([]string{"-baseline", b, "-fresh", b, "-history", filepath.Join(dir, "h.jsonl")}, &out, &errw)
+	if code != 2 || !strings.Contains(errw.String(), "-history needs -sha") {
+		t.Fatalf("exit %d, stderr %q", code, errw.String())
 	}
 }

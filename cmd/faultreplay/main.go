@@ -15,7 +15,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -135,12 +134,9 @@ func runReplay(spec bench.FaultSpec, path, jsonPath string, out, errw io.Writer)
 	}
 	bench.FaultTable(runs).Format(out)
 	if jsonPath != "" {
-		data, err := json.MarshalIndent(bench.FaultRecords(runs), "", "  ")
-		if err != nil {
-			fmt.Fprintln(errw, "faultreplay:", err)
-			return 1
-		}
-		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		w := bench.NewWriter()
+		bench.AddRecords(w, bench.FaultRecords(runs))
+		if err := w.WriteFile(jsonPath); err != nil {
 			fmt.Fprintln(errw, "faultreplay:", err)
 			return 1
 		}

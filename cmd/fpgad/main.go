@@ -21,10 +21,10 @@
 //	fpgad -pprof localhost:6060                  # live net/http/pprof with mutex profiling
 //	fpgad -cpuprofile cpu.out -mutexprofile mtx.out
 //	fpgad -compare -json BENCH_sched.json        # S2 + S3 + S4 + S6 + S7 + S8 comparisons
+//	fpgad -compare -json BENCH_sched.json -history artifacts/bench/history.jsonl -sha abc1234
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -80,6 +80,10 @@ func run(args []string, out, errw io.Writer) int {
 	compare := fs.Bool("compare", false,
 		"run the S2 placement, S3 prefetch, S4 region, S6 scaling, S7 fault and S8 compression comparisons instead of a single run")
 	jsonPath := fs.String("json", "", "write machine-readable per-configuration records to this file")
+	historyPath := fs.String("history", "",
+		"append every emitted record's metrics to this per-commit history file (JSONL; plotted by cmd/benchboard)")
+	shaFlag := fs.String("sha", "",
+		"commit id keying the -history entries (required with -history)")
 	verbose := fs.Bool("v", false, "log every request")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -101,6 +105,10 @@ func run(args []string, out, errw io.Writer) int {
 	}
 	if *rate > 0 && *window > 0 {
 		fmt.Fprintln(errw, "fpgad: -rate drives open-loop; -window drives closed-loop — pick one")
+		return 2
+	}
+	if *historyPath != "" && *shaFlag == "" {
+		fmt.Fprintln(errw, "fpgad: -history needs -sha (the commit id keying the entries)")
 		return 2
 	}
 	// Profiling hooks cover everything below, single runs and -compare
@@ -175,7 +183,7 @@ func run(args []string, out, errw io.Writer) int {
 			fmt.Fprintln(errw, "fpgad: -compare runs all configurations (the S6 sweep varies shard count and offered load itself); -policy/-plan/-prefetch/-window/-regions/-arrivals/-shards/-rate only apply to single runs")
 			return 2
 		}
-		return runCompare(spec, *jsonPath, out, errw)
+		return runCompare(spec, *jsonPath, *historyPath, *shaFlag, out, errw)
 	}
 	opts := sched.Options{Batch: *batch, Policy: policy, Shards: *shards}
 	if *prefetchOn {
@@ -275,13 +283,14 @@ func run(args []string, out, errw io.Writer) int {
 		}
 		fmt.Fprintln(out)
 	}
+	var arrivalRuns []bench.ArrivalRun
 	if *arrivals {
-		at, err := bench.ArrivalTable(spec, *seed, []float64{0.7, 0.95})
+		arrivalRuns, err = bench.ArrivalRuns(spec, *seed, []float64{0.7, 0.95})
 		if err != nil {
 			fmt.Fprintln(errw, "fpgad:", err)
 			return 1
 		}
-		at.Format(out)
+		bench.ArrivalTableFromRuns(arrivalRuns).Format(out)
 	}
 	if *prefetchOn {
 		fmt.Fprintf(out, "prefetch: %d issued, %d hits, %d aborted; hidden config %v, speculative %d B (%d B wasted)\n",
@@ -313,9 +322,9 @@ func run(args []string, out, errw io.Writer) int {
 			label = policy.Name() + "+planner"
 		}
 		run := bench.PlacementRun{Label: label, Policy: policy.Name(), Planner: *planOn, Stats: st}
-		recs := bench.PlacementRecords([]bench.PlacementRun{run})
+		rec := bench.ScheduleRecords([]bench.PlacementRun{run})[0].Wire()
 		if *prefetchOn || *window > 0 || *regions != 1 || *shards != 1 || *rate > 0 {
-			r := &recs[0]
+			r := &rec
 			r.Table = "single"
 			r.TolerancePct = 0
 			if *regions != 1 {
@@ -352,9 +361,19 @@ func run(args []string, out, errw io.Writer) int {
 				r.HiddenMs = float64(st.HiddenConfig.Microseconds()) / 1e3
 			}
 		}
-		if err := writeRecords(*jsonPath, recs); err != nil {
+		w := bench.NewWriter(rec)
+		// A single run's -arrivals replay rides along as typed S5 rows:
+		// the one latency table the -compare sweep does not emit.
+		bench.AddRecords(w, bench.ArrivalRecords(arrivalRuns))
+		if err := w.WriteFile(*jsonPath); err != nil {
 			fmt.Fprintln(errw, "fpgad:", err)
 			return 1
+		}
+		if *historyPath != "" {
+			if err := w.AppendHistory(*historyPath, *shaFlag); err != nil {
+				fmt.Fprintln(errw, "fpgad:", err)
+				return 1
+			}
 		}
 		fmt.Fprintf(out, "\nwrote %s\n", *jsonPath)
 	}
@@ -370,8 +389,9 @@ func run(args []string, out, errw io.Writer) int {
 // region granularity (table S4), each shard count and offered load (table
 // S6, on its own committed capacity spec), each fault-injection rate
 // (table S7) and each configuration load path (table S8), optionally
-// emitting the combined JSON records the CI bench gate diffs.
-func runCompare(spec bench.PlacementSpec, jsonPath string, out, errw io.Writer) int {
+// emitting the combined JSON records the CI bench gate diffs and
+// appending their metrics to the per-commit history store.
+func runCompare(spec bench.PlacementSpec, jsonPath, historyPath, sha string, out, errw io.Writer) int {
 	fmt.Fprintf(out, "comparing configurations on the same workload: pool %d+%d, %d request(s), mix %s, batch %d, seed %d\n\n",
 		spec.Pool.Sys32, spec.Pool.Sys64, spec.N, spec.Mix, spec.Batch, spec.Seed)
 	runs, err := bench.PlacementRuns(spec)
@@ -417,17 +437,28 @@ func runCompare(spec bench.PlacementSpec, jsonPath string, out, errw io.Writer) 
 		return 1
 	}
 	bench.CompressTable(cruns).Format(out)
-	if jsonPath != "" {
-		recs := append(bench.PlacementRecords(runs), bench.PrefetchRecords(pruns)...)
-		recs = append(recs, bench.RegionRecords(rruns)...)
-		recs = append(recs, bench.ScalingRecords(sruns)...)
-		recs = append(recs, bench.FaultRecords(fruns)...)
-		recs = append(recs, bench.CompressRecords(cruns)...)
-		if err := writeRecords(jsonPath, recs); err != nil {
-			fmt.Fprintln(errw, "fpgad:", err)
-			return 1
+	if jsonPath != "" || historyPath != "" {
+		w := bench.NewWriter()
+		bench.AddRecords(w, bench.ScheduleRecords(runs))
+		bench.AddRecords(w, bench.PrefetchRecords(pruns))
+		bench.AddRecords(w, bench.RegionRecords(rruns))
+		bench.AddRecords(w, bench.ScalingRecords(sruns))
+		bench.AddRecords(w, bench.FaultRecords(fruns))
+		bench.AddRecords(w, bench.CompressRecords(cruns))
+		if jsonPath != "" {
+			if err := w.WriteFile(jsonPath); err != nil {
+				fmt.Fprintln(errw, "fpgad:", err)
+				return 1
+			}
+			fmt.Fprintf(out, "wrote %s\n", jsonPath)
 		}
-		fmt.Fprintf(out, "wrote %s\n", jsonPath)
+		if historyPath != "" {
+			if err := w.AppendHistory(historyPath, sha); err != nil {
+				fmt.Fprintln(errw, "fpgad:", err)
+				return 1
+			}
+			fmt.Fprintf(out, "appended %d metric(s) to %s @ %s\n", len(w.HistoryEntries(sha)), historyPath, sha)
+		}
 	}
 	return 0
 }
@@ -454,12 +485,4 @@ func runFloorplan(cfg pool.Config, out, errw io.Writer) int {
 		bench.Floorplan(out, m.Sys)
 	}
 	return 0
-}
-
-func writeRecords(path string, recs []bench.PlacementRecord) error {
-	data, err := json.MarshalIndent(recs, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -173,21 +173,19 @@ func CompressTable(runs []CompressRun) *Table {
 	return t
 }
 
-// CompressRecords converts compress runs for JSON emission, tagged as the
-// S8 table for the CI bench gate. The paired drive is deterministic, so
-// the rows gate at the tight band.
-func CompressRecords(runs []CompressRun) []PlacementRecord {
-	out := make([]PlacementRecord, 0, len(runs))
+// CompressRecords converts compress runs into typed S8 records. The
+// paired drive is deterministic, so the rows gate at the tight band.
+func CompressRecords(runs []CompressRun) []CompressRecord {
+	out := make([]CompressRecord, 0, len(runs))
 	for _, r := range runs {
 		st := r.Stats
-		rec := placementRecord(PlacementRun{Label: r.Label, Policy: r.Policy, Planner: r.Planner, Stats: st})
-		rec.Table = "S8"
-		rec.TolerancePct = 15
-		rec.CompressedLoads = st.CompressedLoads
-		rec.DMALoads = st.DMALoads
-		rec.OverlapMs = st.OverlapConfig.Microseconds() / 1e3
-		rec.Availability = r.Availability
-		out = append(out, rec)
+		out = append(out, CompressRecord{
+			Base:            baseFromRun(PlacementRun{Label: r.Label, Policy: r.Policy, Planner: r.Planner, Stats: st}, 15),
+			CompressedLoads: st.CompressedLoads,
+			DMALoads:        st.DMALoads,
+			OverlapMs:       st.OverlapConfig.Microseconds() / 1e3,
+			Availability:    r.Availability,
+		})
 	}
 	return out
 }

@@ -58,8 +58,8 @@ func TestCompressRunsAcceptance(t *testing.T) {
 
 	recs := CompressRecords(runs)
 	for i, rec := range recs {
-		if rec.Table != "S8" || rec.TolerancePct != 15 {
-			t.Errorf("record %d: table %q tolerance %v, want S8/15", i, rec.Table, rec.TolerancePct)
+		if rec.Suite() != "S8" || rec.TolerancePct != 15 {
+			t.Errorf("record %d: table %q tolerance %v, want S8/15", i, rec.Suite(), rec.TolerancePct)
 		}
 	}
 	if recs[3].OverlapMs <= 0 || recs[3].DMALoads == 0 {

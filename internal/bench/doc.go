@@ -1,0 +1,24 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation from the simulated platforms, and measures the scheduler
+// layers grown on top of them.
+//
+// Two kinds of artifact live here:
+//
+//   - The paper tables (T1–T12, A1/A2): one generator per artifact,
+//     shared by the fpgasim command and the Go benchmark harness.
+//
+//   - The scheduler suites (S1–S8): seeded, reproducible drives of the
+//     multi-system pool — S2 placement, S3 prefetch, S4 region
+//     granularity, S5 open-loop arrival replay, S6 sharded-dispatch
+//     scaling, S7 fault availability, S8 compressed/DMA load paths.
+//
+// Each suite renders a human-readable Table and converts its runs into
+// typed records (ScheduleRecord, PrefetchRecord, RegionRecord,
+// ArrivalRecord, ScalingRecord, FaultRecord, CompressRecord) implementing
+// the Record interface. A Writer emits records in two on-disk forms: the
+// committed BENCH_sched.json baseline that cmd/benchdiff gates CI on, and
+// the append-only per-commit history store (artifacts/bench/
+// history.jsonl) that cmd/benchboard plots as the repo's perf trajectory.
+// The tolerance rules both consumers share live in the nested package
+// internal/bench/gate.
+package bench

@@ -180,24 +180,22 @@ func FaultTable(runs []FaultRun) *Table {
 	return t
 }
 
-// FaultRecords converts fault runs for JSON emission, tagged as the S7
-// table for the CI bench gate. The paced drive and seeded scenarios make
-// the rows deterministic.
-func FaultRecords(runs []FaultRun) []PlacementRecord {
-	out := make([]PlacementRecord, 0, len(runs))
+// FaultRecords converts fault runs into typed S7 records. The paced drive
+// and seeded scenarios make the rows deterministic.
+func FaultRecords(runs []FaultRun) []FaultRecord {
+	out := make([]FaultRecord, 0, len(runs))
 	for _, r := range runs {
 		st := r.Stats
-		rec := placementRecord(PlacementRun{Label: r.Scenario.Name + "+scrub", Policy: "mincost", Planner: true, Stats: st})
-		rec.Table = "S7"
-		rec.TolerancePct = 15
-		rec.FaultsInjected = uint64(len(r.Scenario.Events))
-		rec.FaultsDetected = st.FaultsDetected
-		rec.Requeues = st.Requeues
-		rec.Repairs = st.Repairs
-		rec.RepairMs = float64(st.RepairConfig.Microseconds()) / 1e3
-		rec.Availability = r.Availability
-		rec.P99Ms = float64(r.P99.Microseconds()) / 1e3
-		out = append(out, rec)
+		out = append(out, FaultRecord{
+			Base:           baseFromRun(PlacementRun{Label: r.Scenario.Name + "+scrub", Policy: "mincost", Planner: true, Stats: st}, 15),
+			FaultsInjected: uint64(len(r.Scenario.Events)),
+			FaultsDetected: st.FaultsDetected,
+			Requeues:       st.Requeues,
+			Repairs:        st.Repairs,
+			RepairMs:       float64(st.RepairConfig.Microseconds()) / 1e3,
+			Availability:   r.Availability,
+			P99Ms:          float64(r.P99.Microseconds()) / 1e3,
+		})
 	}
 	return out
 }

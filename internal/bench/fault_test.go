@@ -62,7 +62,7 @@ func TestFaultSweepAvailability(t *testing.T) {
 		t.Fatalf("%d records for %d runs", len(recs), len(runs))
 	}
 	for i, rec := range recs {
-		if rec.Table != "S7" || rec.TolerancePct != 15 {
+		if rec.Suite() != "S7" || rec.TolerancePct != 15 {
 			t.Fatalf("record %d gate tags: %+v", i, rec)
 		}
 		if rec.Availability != runs[i].Availability || rec.Repairs != runs[i].Stats.Repairs {

@@ -131,11 +131,14 @@ func PlacementTable(runs []PlacementRun) *Table {
 	return t
 }
 
-// PlacementRecord is the machine-readable form of one run, as written to
-// BENCH_sched.json for cross-PR perf trajectories and the CI bench gate
-// (cmd/benchdiff keys on table+label and compares config_ms and
-// bytes_streamed against the committed baseline). S2 placement runs and S3
-// prefetch runs share the format; the prefetch fields stay zero for S2.
+// PlacementRecord is the on-disk wire layout of one bench row — the
+// BENCH_sched.json format the CI bench gate (cmd/benchdiff) keys on
+// table+label and diffs config_ms / bytes_streamed against. Every suite's
+// typed record (see Record in record.go) lowers to this struct via
+// Wire(); the field ORDER and omitempty tags are load-bearing, because
+// the committed baseline is diffed byte-for-byte (a golden test pins the
+// round trip). New suites add typed records, not more optional field
+// blocks here.
 type PlacementRecord struct {
 	Table         string  `json:"table"`
 	Label         string  `json:"label"`
@@ -200,41 +203,13 @@ type PlacementRecord struct {
 	TolerancePct float64 `json:"tolerance_pct,omitempty"`
 }
 
-// placementRecord fills the fields shared by S2 and S3 runs.
-func placementRecord(r PlacementRun) PlacementRecord {
-	st := r.Stats
-	var busy float64
-	for _, b := range st.BusyTime {
-		busy += float64(b.Microseconds())
-	}
-	rec := PlacementRecord{
-		Table:         "S2",
-		TolerancePct:  40, // concurrent SubmitAll run: see TolerancePct doc
-		Label:         r.Label,
-		Policy:        r.Policy,
-		Planner:       r.Planner,
-		Requests:      st.Done,
-		Hits:          st.Hits,
-		Misses:        st.Misses,
-		HitRate:       st.HitRate(),
-		DiffLoads:     st.DiffLoads,
-		CompleteLoads: st.CompleteLoads,
-		ConfigMs:      float64(st.Config.Microseconds()) / 1e3,
-		WorkMs:        float64(st.Work.Microseconds()) / 1e3,
-		BusyMs:        busy / 1e3,
-		BytesStreamed: st.BytesStreamed,
-	}
-	if st.Done > 0 {
-		rec.SimUsPerReq = busy / float64(st.Done)
-	}
-	return rec
-}
-
-// PlacementRecords converts runs for JSON emission.
-func PlacementRecords(runs []PlacementRun) []PlacementRecord {
-	out := make([]PlacementRecord, 0, len(runs))
+// ScheduleRecords converts placement runs into typed S2 records. The
+// concurrent SubmitAll drive is noisy, so the rows carry a wide tolerance
+// band (see Base.TolerancePct).
+func ScheduleRecords(runs []PlacementRun) []ScheduleRecord {
+	out := make([]ScheduleRecord, 0, len(runs))
 	for _, r := range runs {
-		out = append(out, placementRecord(r))
+		out = append(out, ScheduleRecord{Base: baseFromRun(r, 40)})
 	}
 	return out
 }

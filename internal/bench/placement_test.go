@@ -49,7 +49,7 @@ func TestPlannerBeatsCompleteOnlyBaseline(t *testing.T) {
 			t.Errorf("S2 table missing %q:\n%s", want, out)
 		}
 	}
-	recs := PlacementRecords(runs)
+	recs := ScheduleRecords(runs)
 	if len(recs) != 3 || recs[0].ConfigMs <= recs[2].ConfigMs || recs[2].DiffLoads == 0 {
 		t.Errorf("placement records inconsistent: %+v", recs)
 	}

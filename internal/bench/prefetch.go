@@ -164,26 +164,25 @@ func PrefetchTable(runs []PrefetchRun) *Table {
 	return t
 }
 
-// PrefetchRecords converts prefetch runs for JSON emission, tagged as the
-// S3 table so trajectory consumers and the CI bench gate can key on
-// (table, label).
-func PrefetchRecords(runs []PrefetchRun) []PlacementRecord {
-	out := make([]PlacementRecord, 0, len(runs))
+// PrefetchRecords converts prefetch runs into typed S3 records. Paced and
+// quiesced, repeated runs are byte-identical, so the rows carry no
+// tolerance override and gate at the CI default.
+func PrefetchRecords(runs []PrefetchRun) []PrefetchRecord {
+	out := make([]PrefetchRecord, 0, len(runs))
 	for _, r := range runs {
 		st := r.Stats
-		rec := placementRecord(PlacementRun{Label: r.Label, Policy: r.Policy, Planner: true, Stats: st})
-		rec.Table = "S3"
-		// Paced and quiesced: repeated runs are byte-identical, so the CI
-		// gate can hold these rows to its tight default threshold.
-		rec.TolerancePct = 0
-		rec.Window = r.Window
-		rec.Predictor = r.Predictor
-		rec.PrefetchHits = st.PrefetchHits
-		rec.PrefetchAborted = st.PrefetchAborted
-		rec.PrefetchBytes = st.PrefetchBytes
-		rec.PrefetchWastedBytes = st.PrefetchWasted
-		rec.HiddenMs = float64(st.HiddenConfig.Microseconds()) / 1e3
-		out = append(out, rec)
+		out = append(out, PrefetchRecord{
+			Base: baseFromRun(PlacementRun{Label: r.Label, Policy: r.Policy, Planner: true, Stats: st}, 0),
+			Speculation: Speculation{
+				Window:              r.Window,
+				Predictor:           r.Predictor,
+				PrefetchHits:        st.PrefetchHits,
+				PrefetchAborted:     st.PrefetchAborted,
+				PrefetchBytes:       st.PrefetchBytes,
+				PrefetchWastedBytes: st.PrefetchWasted,
+				HiddenMs:            float64(st.HiddenConfig.Microseconds()) / 1e3,
+			},
+		})
 	}
 	return out
 }

@@ -205,23 +205,23 @@ func RegionTable(runs []RegionRun) *Table {
 	return t
 }
 
-// RegionRecords converts region runs for JSON emission, tagged as the S4
-// table for the CI bench gate. The window-1 settled drive is
-// deterministic, so the rows gate at a tight band.
-func RegionRecords(runs []RegionRun) []PlacementRecord {
-	out := make([]PlacementRecord, 0, len(runs))
+// RegionRecords converts region runs into typed S4 records. The window-1
+// settled drive is deterministic, so the rows gate at a tight band.
+func RegionRecords(runs []RegionRun) []RegionRecord {
+	out := make([]RegionRecord, 0, len(runs))
 	for _, r := range runs {
 		st := r.Stats
-		rec := placementRecord(PlacementRun{Label: r.Label, Policy: "mincost", Planner: true, Stats: st})
-		rec.Table = "S4"
-		rec.TolerancePct = 15
-		rec.Predictor = r.Predictor
-		rec.PrefetchHits = st.PrefetchHits
-		rec.PrefetchAborted = st.PrefetchAborted
-		rec.PrefetchBytes = st.PrefetchBytes
-		rec.PrefetchWastedBytes = st.PrefetchWasted
-		rec.HiddenMs = float64(st.HiddenConfig.Microseconds()) / 1e3
-		out = append(out, rec)
+		out = append(out, RegionRecord{
+			Base: baseFromRun(PlacementRun{Label: r.Label, Policy: "mincost", Planner: true, Stats: st}, 15),
+			Speculation: Speculation{
+				Predictor:           r.Predictor,
+				PrefetchHits:        st.PrefetchHits,
+				PrefetchAborted:     st.PrefetchAborted,
+				PrefetchBytes:       st.PrefetchBytes,
+				PrefetchWastedBytes: st.PrefetchWasted,
+				HiddenMs:            float64(st.HiddenConfig.Microseconds()) / 1e3,
+			},
+		})
 	}
 	return out
 }

@@ -288,23 +288,23 @@ func ScalingTable(runs []ScalingRun) *Table {
 // all-hit drive, so benchdiff's zero-baseline absolute gate pins them: a
 // fresh run that misses even once fails the gate. The throughput and
 // percentile fields are host- or schedule-dependent and informational.
-func ScalingRecords(runs []ScalingRun) []PlacementRecord {
-	out := make([]PlacementRecord, 0, len(runs))
+func ScalingRecords(runs []ScalingRun) []ScalingRecord {
+	out := make([]ScalingRecord, 0, len(runs))
 	for _, r := range runs {
-		rec := placementRecord(PlacementRun{Label: r.Label, Policy: "lru", Planner: true, Stats: r.Stats})
-		rec.Table = "S6"
-		rec.TolerancePct = 0 // zero baselines gate on absolute epsilon
-		rec.Shards = r.Shards
-		rec.OfferedLoad = r.Rho
-		rec.ArrivalProcess = r.Process
-		rec.ThroughputRPS = r.RealThroughput()
-		rec.SimThroughputRPS = r.SimThroughput()
-		rec.P50Ms = r.P50.Milliseconds()
-		rec.P95Ms = r.P95.Milliseconds()
-		rec.P99Ms = r.P99.Milliseconds()
-		rec.Steals = r.Stats.Steals
-		rec.StolenRequests = r.Stats.StolenRequests
-		out = append(out, rec)
+		out = append(out, ScalingRecord{
+			// Tolerance 0: the zero baselines gate on absolute epsilon.
+			Base:             baseFromRun(PlacementRun{Label: r.Label, Policy: "lru", Planner: true, Stats: r.Stats}, 0),
+			Shards:           r.Shards,
+			OfferedLoad:      r.Rho,
+			Process:          r.Process,
+			ThroughputRPS:    r.RealThroughput(),
+			SimThroughputRPS: r.SimThroughput(),
+			P50Ms:            r.P50.Milliseconds(),
+			P95Ms:            r.P95.Milliseconds(),
+			P99Ms:            r.P99.Milliseconds(),
+			Steals:           r.Stats.Steals,
+			StolenRequests:   r.Stats.StolenRequests,
+		})
 	}
 	return out
 }

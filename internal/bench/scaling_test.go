@@ -65,8 +65,8 @@ func TestScalingRecordsAndTable(t *testing.T) {
 	}
 	recs := ScalingRecords(runs)
 	for i, rec := range recs {
-		if rec.Table != "S6" || rec.Label != runs[i].Label {
-			t.Fatalf("record %d keyed %s/%s, want S6/%s", i, rec.Table, rec.Label, runs[i].Label)
+		if rec.Suite() != "S6" || rec.Label != runs[i].Label {
+			t.Fatalf("record %d keyed %s/%s, want S6/%s", i, rec.Suite(), rec.Label, runs[i].Label)
 		}
 		if rec.TolerancePct != 0 {
 			t.Fatalf("record %d tolerance %v, want 0 (zero baselines gate absolutely)", i, rec.TolerancePct)

@@ -1,8 +1,3 @@
-// Package bench regenerates every table and figure of the paper's
-// evaluation from the simulated platforms — one generator per artifact,
-// shared by the fpgasim command and the Go benchmark harness — plus the
-// scheduler throughput table that extends the evaluation to the
-// multi-system pool.
 package bench
 
 import (

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+
+	"repro/internal/bench/gate"
+)
+
+// Writer accumulates typed bench records and emits them in both on-disk
+// forms: the committed BENCH_sched.json layout (byte-compatible with the
+// pre-refactor emitter, so cmd/benchdiff and the committed baseline are
+// untouched) and the append-only per-commit history store
+// (artifacts/bench/history.jsonl) that cmd/benchboard renders.
+type Writer struct {
+	recs []Record
+}
+
+// NewWriter returns a Writer over any initial records.
+func NewWriter(recs ...Record) *Writer {
+	return &Writer{recs: recs}
+}
+
+// Add appends records in emission order.
+func (w *Writer) Add(recs ...Record) {
+	w.recs = append(w.recs, recs...)
+}
+
+// AddRecords appends a typed slice — the suites return concrete record
+// types, and a []ScheduleRecord is not a []Record.
+func AddRecords[R Record](w *Writer, recs []R) {
+	for _, r := range recs {
+		w.recs = append(w.recs, r)
+	}
+}
+
+// Records returns the accumulated records in emission order.
+func (w *Writer) Records() []Record { return w.recs }
+
+// MarshalWire renders the records in the legacy BENCH_sched.json layout:
+// an indented JSON array of wire rows plus a trailing newline, byte-equal
+// to what the pre-refactor emitter wrote for the same rows.
+func (w *Writer) MarshalWire() ([]byte, error) {
+	wires := make([]PlacementRecord, len(w.recs))
+	for i, r := range w.recs {
+		wires[i] = r.Wire()
+	}
+	data, err := json.MarshalIndent(wires, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile writes the legacy layout to path.
+func (w *Writer) WriteFile(path string) error {
+	data, err := w.MarshalWire()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// HistoryEntries renders every record's metrics as history lines keyed by
+// the given commit SHA: one entry per (suite, label, metric).
+func (w *Writer) HistoryEntries(sha string) []gate.Entry {
+	var out []gate.Entry
+	for _, r := range w.recs {
+		for _, m := range r.Metrics() {
+			out = append(out, gate.Entry{
+				SHA:           sha,
+				Suite:         r.Suite(),
+				Metric:        r.Key() + "/" + m.Name,
+				Value:         m.Value,
+				Unit:          m.Unit,
+				Deterministic: r.Deterministic(),
+				TolerancePct:  r.Tolerance(),
+			})
+		}
+	}
+	return out
+}
+
+// AppendHistory appends the records' metrics to the history file under
+// the given commit SHA, creating the file as needed.
+func (w *Writer) AppendHistory(path, sha string) error {
+	return gate.AppendEntries(path, w.HistoryEntries(sha))
+}
