@@ -1,4 +1,12 @@
-.PHONY: build test race vet fmt fmtcheck bench benchgate benchboard benchboard-md fuzz regionsmoke faultsmoke compresssmoke scalesmoke profile replay gobench sim sched
+.PHONY: build test race vet fmt fmtcheck bench benchgate benchboard benchboard-md tracesmoke tracedemo fuzz regionsmoke faultsmoke compresssmoke scalesmoke profile replay gobench sim sched
+
+# Bench samples per nondeterministic suite (S2/S6): `make bench K=3`
+# reruns them K times and appends min/median noise entries to the history.
+K ?= 1
+
+# Archived per-commit snapshots kept under artifacts/bench; the history
+# store carries the full trajectory, so retention only bounds disk.
+KEEP ?= 10
 
 build:
 	go build ./...
@@ -25,18 +33,22 @@ fmtcheck: fmt
 # total fabric), the S6 scaling sweep (sharded dispatch throughput and
 # sojourn percentiles vs offered load, on its own committed 32-board
 # capacity spec), the S7 fault sweep (availability under injected upsets
-# with scrubbing) and the S8 load-path comparison (complete vs diff vs
+# with scrubbing), the S8 load-path comparison (complete vs diff vs
 # compressed vs compressed+DMA) on the seeded 60-request mixed workload,
-# as tables on stdout and BENCH_sched.json. Each refresh is also archived
-# under artifacts/bench keyed by the current commit, and every record's
-# metrics are appended to the per-commit history store that cmd/benchboard
-# plots, so the perf trajectory survives baseline rewrites.
+# and the S9 latency-SLO replay (deterministic sojourn percentiles over
+# the S6 arrival traces), as tables on stdout and BENCH_sched.json. Each
+# refresh is also archived under artifacts/bench keyed by the current
+# commit (pruned to the newest KEEP), every record's metrics are appended
+# to the per-commit history store that cmd/benchboard plots, and the
+# README sparkline section is refreshed — so the perf trajectory survives
+# baseline rewrites.
 bench:
 	mkdir -p artifacts/bench
 	go run ./cmd/fpgad -compare -json BENCH_sched.json -sys32 2 -sys64 2 -n 60 -seed 7 -batch 4 \
 		-mix "sha1=1,jenkins=2,patternmatch=1,brightness=2,blend=2,fade=2,transfer=1" \
-		-history artifacts/bench/history.jsonl -sha $$(git rev-parse --short HEAD)
+		-history artifacts/bench/history.jsonl -sha $$(git rev-parse --short HEAD) -samples $(K)
 	cp BENCH_sched.json artifacts/bench/BENCH_sched.$$(git rev-parse --short HEAD).json
+	go run ./cmd/benchboard -prune $(KEEP) -readme README.md
 
 # CI bench-regression gate: rerun the comparison into a scratch file and
 # fail if visible config time or bytes streamed regress past tolerance
@@ -46,7 +58,8 @@ bench:
 # any config byte on the capacity drive's request path fails the gate —
 # while their host-dependent throughput fields stay informational). After
 # an intended perf change, run `make bench` and commit the refreshed
-# baseline.
+# baseline. The deterministic S9 rows additionally gate their sojourn
+# p50/p95/p99 columns — the repo's latency SLOs.
 benchgate:
 	mkdir -p artifacts/bench
 	go run ./cmd/fpgad -compare -json BENCH_fresh.json -sys32 2 -sys64 2 -n 60 -seed 7 -batch 4 \
@@ -68,6 +81,25 @@ benchboard:
 benchboard-md:
 	go run ./cmd/benchboard -extract \
 		-md artifacts/bench/board/TRAJECTORY.md -svg artifacts/bench/board
+
+# Trace/metrics smoke: deterministic trace export (two paced runs are
+# byte-identical), the zero-overhead disabled path, span-sum conservation
+# against the scheduler's Stats accounting, the metrics registry and the
+# gated S9 SLO replay, under the race detector.
+tracesmoke:
+	go test -run 'Trace|Metrics|SLO' -race ./...
+
+# Render a Perfetto-loadable Chrome trace of the S8 paired drive (the
+# densest deterministic load-path exercise: differential, compressed and
+# DMA-overlapped streams on sibling regions). Open artifacts/trace/s8.json
+# in https://ui.perfetto.dev or chrome://tracing.
+tracedemo:
+	mkdir -p artifacts/trace
+	go run ./cmd/fpgad -compare -trace artifacts/trace/s8.json \
+		-sys32 2 -sys64 2 -n 60 -seed 7 -batch 4 \
+		-mix "sha1=1,jenkins=2,patternmatch=1,brightness=2,blend=2,fade=2,transfer=1" \
+		> /dev/null
+	@echo "trace: artifacts/trace/s8.json"
 
 # Fuzz smoke: the loader must reject damaged differential streams without
 # wedging (CRC or state-machine error, never silent misconfiguration),

@@ -262,6 +262,114 @@ func writeMarkdown(path string, charts []*chart) error {
 	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 
+// sparkTicks are the eight block glyphs a sparkline quantizes into.
+var sparkTicks = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders a value series as one glyph per commit, scaled to the
+// series' own min/max; a flat series renders mid-height. A glyph train is
+// a trend cue, not a reading — the precise values stay in the trajectory
+// table and the dashboard.
+func sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		i := len(sparkTicks) / 2
+		if hi > lo {
+			i = int((v-lo)/(hi-lo)*float64(len(sparkTicks)-1) + 0.5)
+		}
+		b.WriteRune(sparkTicks[i])
+	}
+	return b.String()
+}
+
+// The sparkline section of a README is regenerated in place between these
+// markers; everything outside them is hand-written and untouched.
+const (
+	readmeBegin = "<!-- benchboard:sparklines:begin -->"
+	readmeEnd   = "<!-- benchboard:sparklines:end -->"
+)
+
+// sparklineSection renders the per-metric sparkline table: one row per
+// (suite, metric, configuration), trend over the commits that measured
+// it, newest value last.
+func sparklineSection(charts []*chart) string {
+	var b strings.Builder
+	b.WriteString(readmeBegin + "\n")
+	b.WriteString("### Bench trajectory\n\n")
+	b.WriteString("Per-commit metric sparklines from `artifacts/bench/history.jsonl`,\n")
+	b.WriteString("refreshed by `cmd/benchboard -readme` (wired into `make bench`). A ⚠ row\n")
+	b.WriteString("ends on a point the CI gate band would fail; host-dependent suites are\n")
+	b.WriteString("marked (host). Full curves: `make benchboard`.\n\n")
+	b.WriteString("| suite | metric | configuration | trend | latest |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	for _, c := range charts {
+		metric := c.metric
+		if c.unit != "" {
+			metric += " (" + c.unit + ")"
+		}
+		if !c.det {
+			metric += " (host)"
+		}
+		for _, s := range c.series {
+			if len(s.points) == 0 {
+				continue
+			}
+			vals := make([]float64, len(s.points))
+			for i, p := range s.points {
+				vals[i] = p.value
+			}
+			last := s.points[len(s.points)-1]
+			latest := fmtValue(last.value, c.unit)
+			if last.flagged {
+				latest += " ⚠"
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n",
+				c.suite, metric, s.label, sparkline(vals), latest)
+		}
+	}
+	b.WriteString(readmeEnd + "\n")
+	return b.String()
+}
+
+// updateReadme regenerates the sparkline section of the markdown file in
+// place: between the benchboard markers when present, appended when the
+// file exists without them, and as a fresh README otherwise.
+func updateReadme(path string, charts []*chart) error {
+	section := sparklineSection(charts)
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		data = []byte("# repro\n\nGrown reproduction of the paper's reconfiguration scheduler;\nsee DESIGN.md and EXPERIMENTS.md.\n\n" + section)
+	case err != nil:
+		return err
+	default:
+		text := string(data)
+		begin := strings.Index(text, readmeBegin)
+		end := strings.Index(text, readmeEnd)
+		if begin >= 0 && end > begin {
+			text = text[:begin] + section + strings.TrimPrefix(text[end+len(readmeEnd):], "\n")
+		} else {
+			if !strings.HasSuffix(text, "\n") {
+				text += "\n"
+			}
+			text += "\n" + section
+		}
+		data = []byte(text)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
 // seriesColors is a validated categorical palette (fixed assignment
 // order, never cycled): adjacent-pair CVD ΔE ≥ 8 and normal-vision ΔE ≥
 // 15 on the light surface. Identity is never color-alone — every chart

@@ -52,16 +52,22 @@ func run(args []string, out, errw io.Writer) int {
 	extract := fs.Bool("extract", false, "lift archived snapshots into the history file")
 	snapshots := fs.String("snapshots", "artifacts/bench", "snapshot directory for -extract (BENCH_sched.<sha>.json)")
 	mdPath := fs.String("md", "", "render the trajectory as a markdown table to this file")
+	readmePath := fs.String("readme", "", "refresh the per-metric sparkline section of this markdown file (between benchboard markers; created if missing)")
 	svgDir := fs.String("svg", "", "write one SVG chart per (suite, metric) into this directory")
 	serveAddr := fs.String("serve", "", "serve the trajectory dashboard on this address (e.g. localhost:8321)")
+	pruneN := fs.Int("prune", 0, "keep only the newest N archived snapshots in the -snapshots directory (0 = keep all; history.jsonl retains the full trajectory)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
 		}
 		return 2
 	}
-	if !*extract && *mdPath == "" && *svgDir == "" && *serveAddr == "" {
-		fmt.Fprintln(errw, "benchboard: nothing to do — pass -extract, -md, -svg and/or -serve")
+	if *pruneN < 0 {
+		fmt.Fprintf(errw, "benchboard: -prune %d: keep a non-negative snapshot count\n", *pruneN)
+		return 2
+	}
+	if !*extract && *mdPath == "" && *readmePath == "" && *svgDir == "" && *serveAddr == "" && *pruneN == 0 {
+		fmt.Fprintln(errw, "benchboard: nothing to do — pass -extract, -md, -readme, -svg, -prune and/or -serve")
 		return 2
 	}
 	if *extract {
@@ -72,7 +78,17 @@ func run(args []string, out, errw io.Writer) int {
 		}
 		fmt.Fprintf(out, "extracted %d snapshot(s): %d new metric(s) appended to %s\n", files, added, *historyPath)
 	}
-	if *mdPath != "" || *svgDir != "" {
+	if *pruneN > 0 {
+		// Prune after -extract so a snapshot's metrics always reach the
+		// history before its file goes.
+		removed, kept, err := pruneSnapshots(*snapshots, *pruneN)
+		if err != nil {
+			fmt.Fprintln(errw, "benchboard:", err)
+			return 1
+		}
+		fmt.Fprintf(out, "pruned %d snapshot(s), kept the newest %d in %s\n", removed, kept, *snapshots)
+	}
+	if *mdPath != "" || *readmePath != "" || *svgDir != "" {
 		charts, skipped, err := loadCharts(*historyPath)
 		if err != nil {
 			fmt.Fprintln(errw, "benchboard:", err)
@@ -91,6 +107,13 @@ func run(args []string, out, errw io.Writer) int {
 				return 1
 			}
 			fmt.Fprintf(out, "wrote %s (%d chart(s))\n", *mdPath, len(charts))
+		}
+		if *readmePath != "" {
+			if err := updateReadme(*readmePath, charts); err != nil {
+				fmt.Fprintln(errw, "benchboard:", err)
+				return 1
+			}
+			fmt.Fprintf(out, "refreshed sparklines in %s (%d chart(s))\n", *readmePath, len(charts))
 		}
 		if *svgDir != "" {
 			if err := os.MkdirAll(*svgDir, 0o755); err != nil {
@@ -171,6 +194,36 @@ func extractSnapshots(historyPath, dir string) (added, files int, err error) {
 		added += len(fresh)
 	}
 	return added, files, nil
+}
+
+// pruneSnapshots deletes all but the newest keep archived snapshots from
+// dir, in the same commit order -extract uses (git first-parent order
+// where resolvable, filename order otherwise). The history store already
+// carries every pruned snapshot's metrics, so retention only bounds the
+// artifact directory's growth, never the trajectory.
+func pruneSnapshots(dir string, keep int) (removed, kept int, err error) {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	var shas []string
+	for _, e := range names {
+		if m := snapshotRe.FindStringSubmatch(e.Name()); m != nil {
+			shas = append(shas, m[1])
+		}
+	}
+	sort.Strings(shas)
+	shas = gitOrder(dir, shas) // oldest first
+	if len(shas) <= keep {
+		return 0, len(shas), nil
+	}
+	for _, sha := range shas[:len(shas)-keep] {
+		if err := os.Remove(filepath.Join(dir, "BENCH_sched."+sha+".json")); err != nil {
+			return removed, keep, err
+		}
+		removed++
+	}
+	return removed, keep, nil
 }
 
 // gitOrder sorts short SHAs into first-parent commit order when the

@@ -18,10 +18,12 @@
 //	fpgad -arrivals                              # open-loop S5 latency percentiles
 //	fpgad -shards 4                              # sharded dispatch (per-shard run queues)
 //	fpgad -shards 4 -rate 200000                 # open-loop drive, sojourn percentiles
-//	fpgad -pprof localhost:6060                  # live net/http/pprof with mutex profiling
+//	fpgad -pprof localhost:6060                  # live net/http/pprof + /metrics with mutex profiling
 //	fpgad -cpuprofile cpu.out -mutexprofile mtx.out
-//	fpgad -compare -json BENCH_sched.json        # S2 + S3 + S4 + S6 + S7 + S8 comparisons
+//	fpgad -trace trace.json                      # Chrome trace-event JSON (Perfetto/chrome://tracing)
+//	fpgad -compare -json BENCH_sched.json        # S2 + S3 + S4 + S6 + S7 + S8 + S9 comparisons
 //	fpgad -compare -json BENCH_sched.json -history artifacts/bench/history.jsonl -sha abc1234
+//	fpgad -compare -history ... -sha ... -samples 3   # + min/median noise entries for S2/S6
 package main
 
 import (
@@ -33,14 +35,18 @@ import (
 	"os"
 	"runtime"
 	runtimepprof "runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/bench/gate"
+	"repro/internal/metrics"
 	"repro/internal/pool"
 	"repro/internal/predict"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -84,6 +90,10 @@ func run(args []string, out, errw io.Writer) int {
 		"append every emitted record's metrics to this per-commit history file (JSONL; plotted by cmd/benchboard)")
 	shaFlag := fs.String("sha", "",
 		"commit id keying the -history entries (required with -history)")
+	tracePath := fs.String("trace", "",
+		"write a Chrome trace-event JSON of the run to this file (load in Perfetto/chrome://tracing; with -compare, records the S8 paired drive)")
+	samples := fs.Int("samples", 1,
+		"with -compare and -history: rerun the nondeterministic suites (S2, S6) this many times and append min/median noise-estimation entries per metric")
 	verbose := fs.Bool("v", false, "log every request")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -111,6 +121,21 @@ func run(args []string, out, errw io.Writer) int {
 		fmt.Fprintln(errw, "fpgad: -history needs -sha (the commit id keying the entries)")
 		return 2
 	}
+	if *samples < 1 {
+		fmt.Fprintf(errw, "fpgad: -samples %d: at least one sample\n", *samples)
+		return 2
+	}
+	if *samples > 1 && (!*compare || *historyPath == "") {
+		fmt.Fprintln(errw, "fpgad: -samples estimates suite noise across -compare reruns and records it in -history — it needs both")
+		return 2
+	}
+	// The tracer exists when anything consumes events: a -trace export, or
+	// the /metrics endpoint riding the -pprof mux. Left nil otherwise, the
+	// scheduler's emission sites stay true no-ops.
+	var tracer *trace.Tracer
+	if *tracePath != "" || *pprofAddr != "" {
+		tracer = trace.New()
+	}
 	// Profiling hooks cover everything below, single runs and -compare
 	// sweeps alike. Mutex/block sampling must be on before the contended
 	// locks are born, so it precedes the pool boot.
@@ -119,12 +144,21 @@ func run(args []string, out, errw io.Writer) int {
 		runtime.SetBlockProfileRate(1000)
 	}
 	if *pprofAddr != "" {
+		// /metrics rides the same default mux as net/http/pprof: counters
+		// per event kind plus config-span and sojourn histograms, fed live
+		// from the tracer's sink, in Prometheus text exposition format.
+		reg := metrics.New()
+		metrics.FeedTracer(tracer, reg)
+		http.HandleFunc("/metrics", func(rw http.ResponseWriter, _ *http.Request) {
+			rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			reg.WriteText(rw)
+		})
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintln(errw, "fpgad: pprof:", err)
 			}
 		}()
-		fmt.Fprintf(out, "pprof: serving http://%s/debug/pprof/ (mutex fraction 5, block rate 1000ns)\n", *pprofAddr)
+		fmt.Fprintf(out, "pprof: serving http://%s/debug/pprof/ and /metrics (mutex fraction 5, block rate 1000ns)\n", *pprofAddr)
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -183,9 +217,9 @@ func run(args []string, out, errw io.Writer) int {
 			fmt.Fprintln(errw, "fpgad: -compare runs all configurations (the S6 sweep varies shard count and offered load itself); -policy/-plan/-prefetch/-window/-regions/-arrivals/-shards/-rate only apply to single runs")
 			return 2
 		}
-		return runCompare(spec, *jsonPath, *historyPath, *shaFlag, out, errw)
+		return runCompare(spec, *jsonPath, *historyPath, *shaFlag, tracer, *tracePath, *samples, out, errw)
 	}
-	opts := sched.Options{Batch: *batch, Policy: policy, Shards: *shards}
+	opts := sched.Options{Batch: *batch, Policy: policy, Shards: *shards, Trace: tracer}
 	if *prefetchOn {
 		pred, err := predict.New(*predictorName)
 		if err != nil {
@@ -311,6 +345,13 @@ func run(args []string, out, errw io.Writer) int {
 				m.ID, m.System, r.Region, resident, r.Loads, r.CompleteLoads, r.DiffLoads, r.AbortedLoads, r.LoadTime, state)
 		}
 	}
+	if *tracePath != "" {
+		if err := writeTrace(tracer, *tracePath); err != nil {
+			fmt.Fprintln(errw, "fpgad:", err)
+			return 1
+		}
+		fmt.Fprintf(out, "trace: wrote %s (%d event(s))\n", *tracePath, tracer.Len())
+	}
 	if *jsonPath != "" {
 		// Same label scheme as the -compare records, so trajectory
 		// consumers see one series per configuration. A paced or prefetch
@@ -388,10 +429,15 @@ func run(args []string, out, errw io.Writer) int {
 // configuration (table S2), each prefetch configuration (table S3), each
 // region granularity (table S4), each shard count and offered load (table
 // S6, on its own committed capacity spec), each fault-injection rate
-// (table S7) and each configuration load path (table S8), optionally
-// emitting the combined JSON records the CI bench gate diffs and
-// appending their metrics to the per-commit history store.
-func runCompare(spec bench.PlacementSpec, jsonPath, historyPath, sha string, out, errw io.Writer) int {
+// (table S7), each configuration load path (table S8) and the
+// deterministic latency-SLO replay (table S9), optionally emitting the
+// combined JSON records the CI bench gate diffs and appending their
+// metrics to the per-commit history store. A non-empty tracePath records
+// the S8 paired drive (the densest deterministic load-path exercise)
+// through the tracer as Chrome trace-event JSON; samples > 1 reruns the
+// nondeterministic suites and appends min/median noise entries.
+func runCompare(spec bench.PlacementSpec, jsonPath, historyPath, sha string,
+	tracer *trace.Tracer, tracePath string, samples int, out, errw io.Writer) int {
 	fmt.Fprintf(out, "comparing configurations on the same workload: pool %d+%d, %d request(s), mix %s, batch %d, seed %d\n\n",
 		spec.Pool.Sys32, spec.Pool.Sys64, spec.N, spec.Mix, spec.Batch, spec.Seed)
 	runs, err := bench.PlacementRuns(spec)
@@ -431,12 +477,28 @@ func runCompare(spec bench.PlacementSpec, jsonPath, historyPath, sha string, out
 	bench.FaultTable(fruns).Format(out)
 	cspec := bench.DefaultCompressSpec()
 	cspec.Seed, cspec.N, cspec.Mix, cspec.Batch = spec.Seed, spec.N, spec.Mix, spec.Batch
+	// Attach whenever a tracer exists: a -trace export gets the S8 paired
+	// drive, and a -pprof /metrics scrape sees the same events live.
+	cspec.Trace = tracer
 	cruns, err := bench.CompressRuns(cspec)
 	if err != nil {
 		fmt.Fprintln(errw, "fpgad:", err)
 		return 1
 	}
 	bench.CompressTable(cruns).Format(out)
+	if tracePath != "" {
+		if err := writeTrace(tracer, tracePath); err != nil {
+			fmt.Fprintln(errw, "fpgad:", err)
+			return 1
+		}
+		fmt.Fprintf(out, "trace: wrote %s (%d event(s), S8 paired drive)\n", tracePath, tracer.Len())
+	}
+	slruns, err := bench.SLORuns(bench.DefaultSLOSpec())
+	if err != nil {
+		fmt.Fprintln(errw, "fpgad:", err)
+		return 1
+	}
+	bench.SLOTable(slruns).Format(out)
 	if jsonPath != "" || historyPath != "" {
 		w := bench.NewWriter()
 		bench.AddRecords(w, bench.ScheduleRecords(runs))
@@ -445,6 +507,7 @@ func runCompare(spec bench.PlacementSpec, jsonPath, historyPath, sha string, out
 		bench.AddRecords(w, bench.ScalingRecords(sruns))
 		bench.AddRecords(w, bench.FaultRecords(fruns))
 		bench.AddRecords(w, bench.CompressRecords(cruns))
+		bench.AddRecords(w, bench.SLORecords(slruns))
 		if jsonPath != "" {
 			if err := w.WriteFile(jsonPath); err != nil {
 				fmt.Fprintln(errw, "fpgad:", err)
@@ -458,9 +521,91 @@ func runCompare(spec bench.PlacementSpec, jsonPath, historyPath, sha string, out
 				return 1
 			}
 			fmt.Fprintf(out, "appended %d metric(s) to %s @ %s\n", len(w.HistoryEntries(sha)), historyPath, sha)
+			if samples > 1 {
+				if err := appendNoise(spec, w.Records(), samples, historyPath, sha, out); err != nil {
+					fmt.Fprintln(errw, "fpgad:", err)
+					return 1
+				}
+			}
 		}
 	}
 	return 0
+}
+
+// appendNoise estimates run-to-run noise on the nondeterministic suites:
+// it reruns S2 (concurrent SubmitAll placement) and S6 (real-throughput
+// capacity drive) samples-1 more times, then appends one "min" and one
+// "median" history entry per metric over all the samples. The median is
+// the lower middle of the sorted values, so it is always a measured value,
+// never an interpolation. Deterministic suites reproduce byte-identically
+// and would sample to K copies of one number, so they are skipped.
+func appendNoise(spec bench.PlacementSpec, first []bench.Record, samples int, historyPath, sha string, out io.Writer) error {
+	type key struct{ suite, metric, unit string }
+	vals := make(map[key][]float64)
+	var order []key
+	add := func(recs []bench.Record) {
+		for _, r := range recs {
+			if s := r.Suite(); s != "S2" && s != "S6" {
+				continue
+			}
+			for _, m := range r.Metrics() {
+				k := key{r.Suite(), r.Key() + "/" + m.Name, m.Unit}
+				if _, ok := vals[k]; !ok {
+					order = append(order, k)
+				}
+				vals[k] = append(vals[k], m.Value)
+			}
+		}
+	}
+	add(first)
+	for i := 1; i < samples; i++ {
+		runs, err := bench.PlacementRuns(spec)
+		if err != nil {
+			return err
+		}
+		sruns, err := bench.ScalingRuns(bench.DefaultScalingSpec())
+		if err != nil {
+			return err
+		}
+		w := bench.NewWriter()
+		bench.AddRecords(w, bench.ScheduleRecords(runs))
+		bench.AddRecords(w, bench.ScalingRecords(sruns))
+		add(w.Records())
+	}
+	var entries []gate.Entry
+	for _, k := range order {
+		v := append([]float64(nil), vals[k]...)
+		sort.Float64s(v)
+		for _, st := range []struct {
+			name string
+			val  float64
+		}{{"min", v[0]}, {"median", v[(len(v)-1)/2]}} {
+			entries = append(entries, gate.Entry{
+				SHA: sha, Suite: k.suite, Metric: k.metric,
+				Value: st.val, Unit: k.unit, Stat: st.name,
+			})
+		}
+	}
+	if err := gate.AppendEntries(historyPath, entries); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "noise: %d sample(s) of S2+S6 — appended %d min/median entries to %s\n",
+		samples, len(entries), historyPath)
+	return nil
+}
+
+// writeTrace renders the tracer's recorded events as Chrome trace-event
+// JSON at path.
+func writeTrace(tr *trace.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runFloorplan prints every distinct floorplan of the pool configuration —

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/pool"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // CompressSpec pins the S8 evaluation: the same seeded mixed workload
@@ -24,6 +25,11 @@ type CompressSpec struct {
 	N      int
 	Mix    string
 	Batch  int
+
+	// Trace, when non-nil, records every run's scheduler and load-path
+	// events — the paired drive is deterministic, so the recorded trace
+	// is too (the CI workflow renders it as a Perfetto artifact).
+	Trace *trace.Tracer
 }
 
 // DefaultCompressSpec is the committed S8 configuration: the seeded
@@ -76,7 +82,7 @@ func RunCompress(spec CompressSpec, label, policyName string, planner, compress,
 	}
 	p.SetPlanning(planner)
 	p.SetCompression(compress)
-	s := sched.New(p, sched.Options{Batch: spec.Batch, Policy: policy, DMA: dma})
+	s := sched.New(p, sched.Options{Batch: spec.Batch, Policy: policy, DMA: dma, Trace: spec.Trace})
 	var firstErr error
 	for i := 0; i < len(w); i += 2 {
 		end := i + 2

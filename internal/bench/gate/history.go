@@ -31,6 +31,11 @@ type Entry struct {
 	// TolerancePct is the row's gate band (0 = the gate default).
 	TolerancePct float64 `json:"tolerance_pct,omitempty"`
 
+	// Stat marks multi-sample noise-estimation entries (fpgad -samples K):
+	// "min" and "median" summarize a nondeterministic metric across the K
+	// reruns of its suite. Empty on ordinary single-sample entries.
+	Stat string `json:"stat,omitempty"`
+
 	// Verdict ("ok" or "fail") and DeltaPct are set only on entries
 	// appended by cmd/benchdiff -history: the gate's outcome for this
 	// metric against the committed baseline.

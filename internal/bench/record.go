@@ -18,12 +18,12 @@ type Metric struct {
 // Record is one bench table row in typed form. Every suite's rows —
 // ScheduleRecord (S2), PrefetchRecord (S3), RegionRecord (S4),
 // ArrivalRecord (S5), ScalingRecord (S6), FaultRecord (S7),
-// CompressRecord (S8) — implement it, as does the raw wire row itself
+// CompressRecord (S8), SLORecord (S9) — implement it, as does the raw wire row itself
 // (PlacementRecord) for ad-hoc single runs. The Writer consumes Records
 // to emit both the committed BENCH_sched.json layout and the history
 // store.
 type Record interface {
-	// Suite is the table ID ("S2" … "S8", or "single" for ad-hoc runs).
+	// Suite is the table ID ("S2" … "S9", or "single" for ad-hoc runs).
 	Suite() string
 	// Key is the configuration label, unique within the suite; the CI
 	// gate and the trajectory store key rows as Suite()/Key().
@@ -422,6 +422,48 @@ func (r CompressRecord) Wire() PlacementRecord {
 	return w
 }
 
+// SLORecord is one S9 latency-SLO row: the S6 arrival traces replayed
+// against pinned placement through the deterministic k-server overlay.
+// The percentile columns are the suite's point — deterministic sojourn
+// p50/p95/p99, each a gated metric rather than an informational one.
+type SLORecord struct {
+	Base
+	Process          string
+	OfferedLoad      float64
+	P50Ms            float64
+	P95Ms            float64
+	P99Ms            float64
+	SimThroughputRPS float64
+}
+
+// Suite implements Record.
+func (SLORecord) Suite() string { return "S9" }
+
+// Deterministic implements Record: paced service measurement plus
+// arithmetic replay, byte-identical run to run.
+func (SLORecord) Deterministic() bool { return true }
+
+// Metrics implements Record: the three SLO percentiles gate alongside
+// the economy pair.
+func (r SLORecord) Metrics() []Metric {
+	return append(r.metrics(),
+		Metric{Name: "p50_ms", Value: r.P50Ms, Unit: "ms"},
+		Metric{Name: "p95_ms", Value: r.P95Ms, Unit: "ms"},
+		Metric{Name: "p99_ms", Value: r.P99Ms, Unit: "ms"})
+}
+
+// Wire implements Record.
+func (r SLORecord) Wire() PlacementRecord {
+	w := r.wire("S9")
+	w.ArrivalProcess = r.Process
+	w.OfferedLoad = r.OfferedLoad
+	w.P50Ms = r.P50Ms
+	w.P95Ms = r.P95Ms
+	w.P99Ms = r.P99Ms
+	w.SimThroughputRPS = r.SimThroughputRPS
+	return w
+}
+
 // Suite implements Record for the raw wire row: ad-hoc single runs tag
 // themselves "single" (or leave the table empty in pre-gate files).
 func (r PlacementRecord) Suite() string {
@@ -504,6 +546,16 @@ func FromWire(w PlacementRecord) Record {
 			DMALoads:        w.DMALoads,
 			OverlapMs:       w.OverlapMs,
 			Availability:    w.Availability,
+		}
+	case "S9":
+		return SLORecord{
+			Base:             baseOf(w),
+			Process:          w.ArrivalProcess,
+			OfferedLoad:      w.OfferedLoad,
+			P50Ms:            w.P50Ms,
+			P95Ms:            w.P95Ms,
+			P99Ms:            w.P99Ms,
+			SimThroughputRPS: w.SimThroughputRPS,
 		}
 	default:
 		return w

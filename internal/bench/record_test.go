@@ -50,6 +50,7 @@ func TestFromWireSuites(t *testing.T) {
 		{"S6", "bench.ScalingRecord"},
 		{"S7", "bench.FaultRecord"},
 		{"S8", "bench.CompressRecord"},
+		{"S9", "bench.SLORecord"},
 		{"", "bench.PlacementRecord"},
 	}
 	for _, c := range cases {

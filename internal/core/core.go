@@ -162,6 +162,11 @@ type Manager struct {
 	scrubPasses    uint64
 	scrubFaults    uint64
 	faultsInjected uint64
+
+	// notify, when set, observes hazard-gate refusals and resident-state
+	// demotions ("hazard"/"demote" plus a short reason). The trace spine
+	// hooks in here, so core never depends on the tracer package.
+	notify func(event, reason string)
 }
 
 // ErrAborted reports that an abortable load was stopped at a safe stream
@@ -201,6 +206,26 @@ func NewManager(cfg Config) (*Manager, error) {
 
 // Region returns the dynamic area this manager owns.
 func (m *Manager) Region() fabric.Region { return m.cfg.Region }
+
+// SetNotify installs the observability hook: it is called, under the same
+// serialization as the load path itself, with ("hazard", reason) when the
+// §2.2 gate refuses a stale plan and ("demote", reason) whenever the
+// tracked resident state loses authority. nil disables it.
+func (m *Manager) SetNotify(fn func(event, reason string)) { m.notify = fn }
+
+// event reports one observability event to the installed notify hook.
+func (m *Manager) event(kind, reason string) {
+	if m.notify != nil {
+		m.notify(kind, reason)
+	}
+}
+
+// demote marks the tracked resident state non-authoritative and reports
+// the demotion with its reason.
+func (m *Manager) demote(reason string) {
+	m.residentOK = false
+	m.event("demote", reason)
+}
 
 // Register adds a module: its relocatable component and behavioural factory.
 // The complete partial configuration is assembled once and cached; its
@@ -479,12 +504,14 @@ func (m *Manager) LoadPlannedAbortable(p plan.Plan, stop func() bool) (elapsed s
 	switch p.Kind {
 	case plan.StreamNone:
 		if !authoritative || resident != p.Module {
+			m.event("hazard", "stale-noop")
 			return 0, 0, fmt.Errorf("core: stale plan: no-op for %s but resident state is %q (authoritative=%v)",
 				p.Module, resident, authoritative)
 		}
 		return 0, 0, nil
 	case plan.StreamDifferential:
 		if !authoritative || resident != p.From {
+			m.event("hazard", "stale-differential")
 			return 0, 0, fmt.Errorf("core: stale plan: differential %q -> %s but resident state is %q (authoritative=%v)",
 				p.From, p.Module, resident, authoritative)
 		}
@@ -512,6 +539,7 @@ func (m *Manager) planContainer(p plan.Plan, resident string, authoritative bool
 	switch p.Base {
 	case plan.StreamDifferential:
 		if !authoritative || resident != p.From {
+			m.event("hazard", "stale-compressed")
 			return nil, fmt.Errorf("core: stale plan: compressed differential %q -> %s but resident state is %q (authoritative=%v)",
 				p.From, p.Module, resident, authoritative)
 		}
@@ -555,12 +583,14 @@ func (m *Manager) BeginPlanned(p plan.Plan, eng *icap.DMA) (*PendingLoad, error)
 	switch p.Kind {
 	case plan.StreamNone:
 		if !authoritative || resident != p.Module {
+			m.event("hazard", "stale-noop")
 			return nil, fmt.Errorf("core: stale plan: no-op for %s but resident state is %q (authoritative=%v)",
 				p.Module, resident, authoritative)
 		}
 		return &PendingLoad{Plan: p, none: true}, nil
 	case plan.StreamDifferential:
 		if !authoritative || resident != p.From {
+			m.event("hazard", "stale-differential")
 			return nil, fmt.Errorf("core: stale plan: differential %q -> %s but resident state is %q (authoritative=%v)",
 				p.From, p.Module, resident, authoritative)
 		}
@@ -594,7 +624,7 @@ func (m *Manager) BeginPlanned(p plan.Plan, eng *icap.DMA) (*PendingLoad, error)
 		m.completeLoads++
 	}
 	if err != nil {
-		m.residentOK = false
+		m.demote("dma-error")
 		return nil, fmt.Errorf("core: dma load of %s: %w", p.Module, err)
 	}
 	return &PendingLoad{Plan: p, start: start, done: done, bytes: 4 * len(words)}, nil
@@ -668,7 +698,7 @@ func (m *Manager) streamAbortable(s *bitstream.Stream, differential bool, stop f
 			m.abortedLoads++
 			m.loadTime += elapsed
 			m.bytesStreamed += uint64(4 * i)
-			m.residentOK = false
+			m.demote("abort")
 			return elapsed, 4 * i, ErrAborted
 		}
 		c.SW(m.cfg.ICAPBase+icap.RegWriteFIFO, w)
@@ -692,11 +722,11 @@ func (m *Manager) streamAbortable(s *bitstream.Stream, differential bool, stop f
 	if err != nil {
 		// The sequence never completed: frames may have been committed
 		// without a rebind, so the tracked state is no longer trustworthy.
-		m.residentOK = false
+		m.demote("stream-error")
 		return elapsed, s.SizeBytes(), err
 	}
 	if status&icap.StatError != 0 {
-		m.residentOK = false
+		m.demote("config-error")
 		return elapsed, s.SizeBytes(), fmt.Errorf("core: configuration error reported by HWICAP")
 	}
 	return elapsed, s.SizeBytes(), nil
@@ -725,7 +755,7 @@ func (m *Manager) streamCompressedAbortable(z *bitstream.Compressed, stop func()
 			m.abortedLoads++
 			m.loadTime += elapsed
 			m.bytesStreamed += uint64(4 * i)
-			m.residentOK = false
+			m.demote("abort")
 			return elapsed, 4 * i, ErrAborted
 		}
 		c.SW(m.cfg.ICAPBase+icap.RegWriteFIFO, w)
@@ -746,11 +776,11 @@ func (m *Manager) streamCompressedAbortable(z *bitstream.Compressed, stop func()
 		err = fmt.Errorf("core: compressed stream: %w", derr)
 	}
 	if err != nil {
-		m.residentOK = false
+		m.demote("stream-error")
 		return elapsed, z.SizeBytes(), err
 	}
 	if status&icap.StatError != 0 {
-		m.residentOK = false
+		m.demote("config-error")
 		return elapsed, z.SizeBytes(), fmt.Errorf("core: configuration error reported by HWICAP")
 	}
 	return elapsed, z.SizeBytes(), nil
@@ -794,7 +824,7 @@ func (m *Manager) rebind() {
 		// Unrecognized content (e.g. a differential stream applied against
 		// the wrong state): the resident state is no longer authoritative.
 		m.current = ""
-		m.residentOK = false
+		m.demote("unverified")
 		m.cfg.Bind(hw.NewBrokenCore(h))
 	}
 	if m.liveStaticHash() != m.staticHash {
@@ -842,7 +872,7 @@ func (m *Manager) Scrub() (detected bool, module string) {
 	}
 	m.scrubFaults++
 	module = m.current
-	m.residentOK = false
+	m.demote("scrub")
 	return true, module
 }
 

@@ -37,6 +37,11 @@ type DMA struct {
 	busyUntil sim.Time
 	transfers uint64
 	words     uint64
+
+	// obs, when set, observes every transfer's port window — the trace
+	// spine renders it as a DMA-window span without icap depending on the
+	// tracer package. Called under the same serialization as Begin.
+	obs func(start, done sim.Time, words int, compressed bool)
 }
 
 // NewDMA returns a DMA engine feeding the device's configuration logic.
@@ -46,6 +51,11 @@ func NewDMA(k *sim.Kernel, clk *sim.Clock, loader *bitstream.Loader) *DMA {
 
 // Stats reports completed transfers and wire words moved.
 func (d *DMA) Stats() (transfers, words uint64) { return d.transfers, d.words }
+
+// SetObserver installs the port-window observer; nil disables it.
+func (d *DMA) SetObserver(fn func(start, done sim.Time, words int, compressed bool)) {
+	d.obs = fn
+}
 
 // BusyUntil reports when the engine's current window ends (its own port is
 // idle from then on).
@@ -67,6 +77,9 @@ func (d *DMA) Begin(words []uint32, compressed bool) (start, done sim.Time, err 
 	d.busyUntil = done
 	d.transfers++
 	d.words += uint64(len(words))
+	if d.obs != nil {
+		d.obs(start, done, len(words), compressed)
+	}
 	if err := d.feed(words, compressed); err != nil {
 		d.loader.Reset()
 		return start, done, err

@@ -1,0 +1,37 @@
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Default histogram bounds in milliseconds of simulated time: config
+// transfers live in the 0.1–50 ms range on the modelled HWICAP, sojourns
+// stretch into seconds under overload.
+var (
+	msBounds = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+)
+
+// FeedTracer installs a sink on the tracer that mirrors every event into
+// the registry: an events_total counter per kind, plus config-span and
+// sojourn histograms. The sink runs under the tracer lock, so registry
+// updates are ordered with the event stream.
+func FeedTracer(t *trace.Tracer, r *Registry) {
+	if t == nil || r == nil {
+		return
+	}
+	spans := r.Histogram("fpgad_config_span_ms", msBounds)
+	sojourn := r.Histogram("fpgad_sojourn_ms", msBounds)
+	t.SetSink(func(e trace.Event) {
+		r.Counter(fmt.Sprintf("fpgad_trace_events_total{kind=%q}", e.Kind.String())).Inc()
+		switch e.Kind {
+		case trace.KindConfig:
+			spans.Observe(e.Dur.Milliseconds())
+		case trace.KindComplete:
+			if e.Arg > 0 {
+				sojourn.Observe(float64(e.Arg) / 1e12)
+			}
+		}
+	})
+}

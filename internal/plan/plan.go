@@ -140,6 +140,11 @@ type Planner struct {
 	zfull     map[string]zEntry  // compressed complete containers
 	fsPerByte float64
 	observed  uint64
+
+	// obs, when set, observes every decided plan — the trace spine
+	// records each per-transition kind/bytes decision without plan
+	// depending on the tracer package.
+	obs func(p Plan)
 }
 
 // New returns a planner over the stream source.
@@ -164,6 +169,25 @@ func NewFor(region string, src Source) *Planner {
 
 // Region returns the dynamic region label the planner is bound to.
 func (p *Planner) Region() string { return p.region }
+
+// SetObserver installs the plan-decision observer; nil disables it. The
+// observer runs on every successful Plan call, under the caller's
+// serialization (the load paths plan under the system lock).
+func (p *Planner) SetObserver(fn func(Plan)) {
+	p.mu.Lock()
+	p.obs = fn
+	p.mu.Unlock()
+}
+
+// observe reports a decided plan to the installed observer.
+func (p *Planner) observe(pl Plan) {
+	p.mu.Lock()
+	fn := p.obs
+	p.mu.Unlock()
+	if fn != nil {
+		fn(pl)
+	}
+}
 
 // SetCompression toggles compressed-stream planning. Off (the default) the
 // planner's choices are byte-identical to the three-kind planner; on, the
@@ -190,7 +214,9 @@ func (p *Planner) Plan(resident string, authoritative bool, want string) (Plan, 
 		return Plan{}, fmt.Errorf("plan: unknown module %q", want)
 	}
 	if authoritative && resident == want {
-		return Plan{Module: want, From: resident, Kind: StreamNone, Region: p.region}, nil
+		pl := Plan{Module: want, From: resident, Kind: StreamNone, Region: p.region}
+		p.observe(pl)
+		return pl, nil
 	}
 	cb, cf, err := p.completeSize(want)
 	if err != nil {
@@ -209,6 +235,7 @@ func (p *Planner) Plan(resident string, authoritative bool, want string) (Plan, 
 		}
 	}
 	if !authoritative {
+		p.observe(best)
 		return best, nil
 	}
 	// Safety gate: a differential — compressed or not — is only offered
@@ -224,6 +251,7 @@ func (p *Planner) Plan(resident string, authoritative bool, want string) (Plan, 
 				Bytes: zb, Frames: zf, Raw: zraw, Est: p.estimate(zraw), Region: p.region}
 		}
 	}
+	p.observe(best)
 	return best, nil
 }
 

@@ -23,6 +23,11 @@ type ConfigReport struct {
 	Frames  int
 	Time    sim.Time
 	Aborted bool
+	// At is the member's simulated time when the load began: the stream
+	// occupied [At, At+Time] on the member's timeline. Trace spans are
+	// anchored here, so a traced run renders the same window the kernel
+	// accounted.
+	At sim.Time
 }
 
 // ExecReport describes one task execution on a system: how the requested
@@ -50,6 +55,11 @@ type ExecReport struct {
 	// DMA marks a load issued through the region dock's DMA engine.
 	DMA  bool
 	Work sim.Time
+	// At is the member's simulated time when the request reached the
+	// region: configuration occupied [At, At+Config] and work
+	// [At+Config, At+Config+Work] on the member's timeline (for a DMA
+	// load the hidden window part precedes At). Trace spans anchor here.
+	At sim.Time
 }
 
 // Latency is the simulated time the request occupied the system.
@@ -253,13 +263,14 @@ func (s *System) planFor(rs *regionSlot, module string, usePlanner bool) (plan.P
 // from-state cannot go stale between the choice and the stream — the
 // manager still re-verifies it.
 func (s *System) loadWith(rs *regionSlot, name string, usePlanner bool) (ConfigReport, error) {
+	at := s.K.Now()
 	p, err := s.planFor(rs, name, usePlanner)
 	if err != nil {
-		return ConfigReport{Module: name, Region: rs.area.R.Name}, err
+		return ConfigReport{Module: name, Region: rs.area.R.Name, At: at}, err
 	}
 	t, err := rs.mgr.LoadPlanned(p)
 	r := ConfigReport{Module: name, Region: rs.area.R.Name,
-		Kind: p.Kind, Bytes: p.Bytes, Frames: p.Frames, Time: t}
+		Kind: p.Kind, Bytes: p.Bytes, Frames: p.Frames, Time: t, At: at}
 	if err != nil {
 		return r, err
 	}
@@ -319,16 +330,17 @@ func (s *System) LoadSpeculativeOn(ri int, name string, stop func() bool) (Confi
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rs := s.regions[ri]
+	at := s.K.Now()
 	if stop != nil && stop() {
-		return ConfigReport{Module: name, Region: rs.area.R.Name, Aborted: true}, core.ErrAborted
+		return ConfigReport{Module: name, Region: rs.area.R.Name, Aborted: true, At: at}, core.ErrAborted
 	}
 	p, err := s.planFor(rs, name, rs.planning)
 	if err != nil {
-		return ConfigReport{Module: name, Region: rs.area.R.Name}, err
+		return ConfigReport{Module: name, Region: rs.area.R.Name, At: at}, err
 	}
 	t, bytes, err := rs.mgr.LoadPlannedAbortable(p, stop)
 	r := ConfigReport{Module: name, Region: rs.area.R.Name,
-		Kind: p.Kind, Bytes: bytes, Frames: p.Frames, Time: t}
+		Kind: p.Kind, Bytes: bytes, Frames: p.Frames, Time: t, At: at}
 	if errors.Is(err, core.ErrAborted) {
 		r.Aborted = true
 		return r, err
@@ -375,6 +387,7 @@ func (s *System) ExecuteOn(ri int, module string, fn func() error) (ExecReport, 
 		Kind:          cfg.Kind,
 		BytesStreamed: cfg.Bytes,
 		Config:        cfg.Time,
+		At:            cfg.At,
 	}
 	if err != nil {
 		s.active = 0
@@ -433,6 +446,7 @@ func (s *System) FinishExecuteOn(t *LoadTicket, fn func() error) (ExecReport, er
 	defer s.mu.Unlock()
 	rs := t.rs
 	s.active = t.ri
+	at := s.K.Now()
 	visible, hidden := rs.mgr.FinishLoad(t.pending)
 	r := ExecReport{
 		Module:        t.module,
@@ -443,6 +457,7 @@ func (s *System) FinishExecuteOn(t *LoadTicket, fn func() error) (ExecReport, er
 		Config:        visible,
 		ConfigHidden:  hidden,
 		DMA:           t.plan.Kind != plan.StreamNone,
+		At:            at,
 	}
 	if rs.mgr.Current() != t.module {
 		s.active = 0

@@ -19,6 +19,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/region"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/uart"
 )
 
@@ -111,6 +112,13 @@ type System struct {
 	// which take this lock. Two regions of one board never compute
 	// simultaneously — sibling activity interleaves on this lock.
 	mu sync.Mutex
+
+	// tracer, when set by SetTracer, receives plan decisions, hazard
+	// verdicts, demotions and DMA port windows from this board's regions,
+	// stamped with the member's simulated kernel time; traceMember is the
+	// pool member ID the events carry.
+	tracer      *trace.Tracer
+	traceMember int32
 }
 
 // GPIO is the general-purpose I/O controller of the 32-bit system (LEDs and

@@ -50,6 +50,7 @@ import (
 	"repro/internal/predict"
 	"repro/internal/sim"
 	"repro/internal/tasks"
+	"repro/internal/trace"
 )
 
 // Options tunes the scheduler.
@@ -90,6 +91,13 @@ type Options struct {
 	// into Stats.OverlapConfig. Ignored while Scrub is set (the
 	// scrub-on-dispatch pass needs the CPU path's pre-execution check).
 	DMA bool
+	// Trace records the run's event stream: submit/dispatch/steal/
+	// config/compute/complete spans plus prefetch, scrub, quarantine and
+	// repair events, all stamped with simulated time. New threads it
+	// through every member's platform layer too (plan decisions, hazard
+	// verdicts, demotions, DMA windows). nil (the default) disables
+	// tracing entirely — the hot path then constructs no events at all.
+	Trace *trace.Tracer
 }
 
 // Result is the outcome of one scheduled request.
@@ -480,6 +488,14 @@ func New(p *pool.Pool, opts Options) *Scheduler {
 		}
 		sh.stats.BusyTime = make([]sim.Time, len(sh.slots))
 		s.shards[i] = sh
+	}
+	if opts.Trace != nil {
+		// Thread the tracer through every member's platform layer, so
+		// plan/hazard/demote/DMA-window events land in the same stream as
+		// the scheduler's own spans.
+		for _, m := range p.Members() {
+			m.Sys.SetTracer(opts.Trace, m.ID)
+		}
 	}
 	// Global slot order = pool order (member ID, region) — exactly the
 	// pre-shard flattening, so Stats' Slots/BusyTime layout is unchanged

@@ -8,6 +8,7 @@ import (
 	"repro/internal/pool"
 	"repro/internal/sim"
 	"repro/internal/tasks"
+	"repro/internal/trace"
 )
 
 // shard is one independently locked slice of the scheduler: a subset of the
@@ -81,6 +82,12 @@ func (sh *shard) submitLocked(t tasks.Runner, arrival sim.Time, openLoop bool) <
 	sc.stopped.Store(false)
 	req := &request{id: sc.nextID.Add(1), task: t, ch: ch, arrival: arrival, openLoop: openLoop}
 	sc.requests.Add(1)
+	if tr := sc.opts.Trace; tr != nil {
+		// Scheduler-level instant (member/region -1): closed-loop
+		// submissions carry Ts 0, open-loop ones their arrival stamp.
+		tr.Emit(trace.Event{Ts: arrival, Kind: trace.KindSubmit,
+			Member: -1, Region: -1, ID: req.id, Name: t.Module()})
+	}
 	if sc.opts.Predictor != nil {
 		// Train on the arrival stream — including requests that fail below:
 		// the workload asked for the module either way.
@@ -166,6 +173,13 @@ func (sh *shard) dispatchLocked() {
 		sh.tick++
 		ss.lastUsed = sh.tick
 		assigned[ss.m.ID] = true
+		if tr := sc.opts.Trace; tr != nil {
+			// Placement instant on the chosen slot's track; Arg carries the
+			// batch size riding this dispatch.
+			tr.Emit(trace.Event{Ts: sc.clock.Now(), Kind: trace.KindDispatch,
+				Member: int32(ss.m.ID), Region: int32(ss.ri),
+				ID: head.id, Name: head.task.Module(), Arg: int64(len(batch))})
+		}
 		round = append(round, assignment{ss: ss, si: si, batch: batch})
 	}
 	if len(round) > 0 {
@@ -237,6 +251,11 @@ func (sh *shard) stealLocked() bool {
 			sh.pending = append(sh.pending, take...)
 			sh.stats.Steals++
 			sh.stats.StolenRequests += uint64(len(take))
+			if tr := sh.sc.opts.Trace; tr != nil {
+				tr.Emit(trace.Event{Ts: sh.sc.clock.Now(), Kind: trace.KindSteal,
+					Member: -1, Region: -1, ID: take[0].id,
+					Name: take[0].task.Module(), Arg: int64(len(take))})
+			}
 			return true
 		}
 	}
@@ -439,6 +458,10 @@ func (sh *shard) prefetchLocked() {
 		ss.specBusy, ss.specModule = true, bestMod
 		ss.specAbort = &abortToken{}
 		sh.stats.PrefetchIssued++
+		if tr := sc.opts.Trace; tr != nil {
+			tr.Emit(trace.Event{Ts: sc.clock.Now(), Kind: trace.KindPrefetchLaunch,
+				Member: int32(ss.m.ID), Region: int32(ss.ri), Name: bestMod})
+		}
 		sc.specWG.Add(1)
 		go sh.runSpeculative(ss, bestMod, ss.specAbort)
 	}
@@ -472,6 +495,18 @@ func (sh *shard) runSpeculative(ss *slotState, mod string, tok *abortToken) {
 	if rep.Bytes > 0 {
 		st.PrefetchLoads++
 	}
+	if tr := sh.sc.opts.Trace; tr != nil {
+		if rep.Time > 0 {
+			// The speculative stream's port span; conservation: these
+			// spans sum per slot to Stats.PrefetchConfig.
+			tr.Emit(trace.Event{Ts: rep.At, Dur: rep.Time, Kind: trace.KindPrefetchConfig,
+				Member: int32(ss.m.ID), Region: int32(ss.ri), Name: mod, Arg: int64(rep.Bytes)})
+		}
+		if err != nil {
+			tr.Emit(trace.Event{Ts: rep.At + rep.Time, Kind: trace.KindPrefetchAbort,
+				Member: int32(ss.m.ID), Region: int32(ss.ri), Name: mod, Arg: int64(rep.Bytes)})
+		}
+	}
 	hitPending := ss.specHitPending
 	ss.specHitPending = false
 	// Refresh the cached resident — but only when the slot was neither
@@ -498,6 +533,10 @@ func (sh *shard) runSpeculative(ss *slotState, mod string, tok *abortToken) {
 			st.PrefetchHits++
 			st.PrefetchConsumed += uint64(rep.Bytes)
 			st.HiddenConfig += rep.Time
+			if tr := sh.sc.opts.Trace; tr != nil {
+				tr.Emit(trace.Event{Ts: rep.At + rep.Time, Kind: trace.KindPrefetchHit,
+					Member: int32(ss.m.ID), Region: int32(ss.ri), Name: mod, Arg: int64(rep.Bytes)})
+			}
 		case tok.aborted():
 			// The stream outran its abort: a dispatch for a different
 			// module (or Wait) claimed the slot while the last words
@@ -540,6 +579,14 @@ func (sh *shard) runBatch(ss *slotState, si int, batch []*request) {
 		rep := ss.m.Sys.ScrubOn(ss.ri)
 		sh.mu.Lock()
 		sh.stats.ScrubPasses++
+		if tr := sc.opts.Trace; tr != nil {
+			arg := int64(0)
+			if rep.Detected {
+				arg = 1
+			}
+			tr.Emit(trace.Event{Ts: sc.clock.Now(), Kind: trace.KindScrub,
+				Member: int32(ss.m.ID), Region: int32(ss.ri), Name: rep.Module, Arg: arg})
+		}
 		if rep.Detected {
 			// The batch never ran: bounce it back to the head of the queue
 			// in order, take the slot out of service, and let dispatch
@@ -637,6 +684,10 @@ func (sh *shard) quarantineLocked(ss *slotState, module string) {
 	st.FaultsDetected++
 	ss.quarantined = true
 	ss.resident = ""
+	if tr := sh.sc.opts.Trace; tr != nil {
+		tr.Emit(trace.Event{Ts: sh.sc.clock.Now(), Kind: trace.KindQuarantine,
+			Member: int32(ss.m.ID), Region: int32(ss.ri), Name: module})
+	}
 	// A prefetched-but-unconsumed guess sat in the corrupted region: its
 	// bytes can never be consumed now, so they are waste — booked here,
 	// exactly once, keeping the speculative conservation law intact.
@@ -665,6 +716,12 @@ func (sh *shard) runRepair(ss *slotState, module string) {
 	st.Repairs++
 	st.RepairBytes += uint64(rep.Bytes)
 	st.RepairConfig += rep.Time
+	if tr := sh.sc.opts.Trace; tr != nil && module != "" {
+		// The healing reload's span; conservation: repair spans sum per
+		// slot to Stats.RepairConfig.
+		tr.Emit(trace.Event{Ts: rep.At, Dur: rep.Time, Kind: trace.KindRepair,
+			Member: int32(ss.m.ID), Region: int32(ss.ri), Name: module, Arg: int64(rep.Bytes)})
+	}
 	ss.quarantined = false
 	if module != "" && err == nil {
 		ss.resident = module
@@ -697,6 +754,14 @@ func (sh *shard) scrubAll() int {
 		sh.mu.Lock()
 		ss.scrubbing = false
 		sh.stats.ScrubPasses++
+		if tr := sh.sc.opts.Trace; tr != nil {
+			arg := int64(0)
+			if rep.Detected {
+				arg = 1
+			}
+			tr.Emit(trace.Event{Ts: sh.sc.clock.Now(), Kind: trace.KindScrub,
+				Member: int32(ss.m.ID), Region: int32(ss.ri), Name: rep.Module, Arg: arg})
+		}
 		if rep.Detected {
 			detected++
 			sh.quarantineLocked(ss, rep.Module)
@@ -742,6 +807,33 @@ func (sh *shard) record(si int, res *Result, req *request) {
 		res.Sojourn = done - req.arrival
 		sh.sc.clock.Advance(done)
 	}
+	if tr := sh.sc.opts.Trace; tr != nil {
+		rep := &res.Report
+		member, region := int32(ss.m.ID), int32(ss.ri)
+		if rep.ConfigHidden > 0 {
+			tr.Emit(trace.Event{Ts: rep.At - rep.ConfigHidden, Dur: rep.ConfigHidden,
+				Kind: trace.KindOverlap, Member: member, Region: region,
+				ID: req.id, Name: res.Module, Arg: int64(rep.BytesStreamed)})
+		}
+		if rep.Config > 0 {
+			// Conservation: config spans sum per slot to Stats.Config.
+			tr.Emit(trace.Event{Ts: rep.At, Dur: rep.Config,
+				Kind: trace.KindConfig, Member: member, Region: region,
+				ID: req.id, Name: res.Module, Arg: int64(rep.BytesStreamed)})
+		}
+		if rep.Work > 0 {
+			tr.Emit(trace.Event{Ts: rep.At + rep.Config, Dur: rep.Work,
+				Kind: trace.KindCompute, Member: member, Region: region,
+				ID: req.id, Name: res.Module})
+		}
+		doneTs := rep.At + rep.Config + rep.Work
+		arg := int64(rep.Latency())
+		if req.openLoop {
+			doneTs, arg = res.DoneAt, int64(res.Sojourn)
+		}
+		tr.Emit(trace.Event{Ts: doneTs, Kind: trace.KindComplete,
+			Member: member, Region: region, ID: req.id, Name: res.Module, Arg: arg})
+	}
 	st.Config += res.Report.Config
 	st.Work += res.Report.Work
 	st.BusyTime[si] += res.Report.Latency()
@@ -782,6 +874,11 @@ func (sh *shard) record(si int, res *Result, req *request) {
 			st.PrefetchHits++
 			st.PrefetchConsumed += uint64(ss.prefetchedBytes)
 			st.HiddenConfig += ss.prefetchedTime
+			if tr := sh.sc.opts.Trace; tr != nil {
+				tr.Emit(trace.Event{Ts: res.Report.At, Kind: trace.KindPrefetchHit,
+					Member: int32(ss.m.ID), Region: int32(ss.ri), ID: req.id,
+					Name: ss.prefetched, Arg: int64(ss.prefetchedBytes)})
+			}
 			ss.prefetched, ss.prefetchedBytes, ss.prefetchedTime = "", 0, 0
 		case res.Report.Kind != plan.StreamNone:
 			st.PrefetchWasted += uint64(ss.prefetchedBytes)
